@@ -1,0 +1,69 @@
+"""Micro-benchmarks: the substrate operations the experiments stand on.
+
+Not a paper artefact per se, but the calibration data behind every figure:
+transitive-closure evaluation on each engine, hash-join throughput, the
+inference engine, and SQLite round-trips.
+"""
+
+import pytest
+
+from repro.algebra.parser import parse
+from repro.core.inference import InferenceEngine
+from repro.datasets.yago import yago_schema
+from repro.graph.evaluator import evaluate_path
+from repro.query.parser import parse_query
+from repro.ra.evaluate import evaluate_term
+from repro.ra.optimizer import optimize_term
+from repro.ra.translate import TranslationContext, path_to_ra, ucqt_to_ra
+
+CLOSURE = parse("isLocatedIn+")
+
+
+def test_closure_reference_engine(benchmark, yago_context):
+    result = benchmark(evaluate_path, yago_context.graph, CLOSURE)
+    assert result
+
+
+def test_closure_ra_engine(benchmark, yago_context):
+    term = path_to_ra(CLOSURE)
+    _cols, rows = benchmark(evaluate_term, term, yago_context.store)
+    assert rows
+
+
+def test_closure_sqlite(benchmark, yago_context):
+    query = parse_query("x1, x2 <- (x1, isLocatedIn+, x2)")
+    result = benchmark(yago_context.sqlite.execute_ucqt, query)
+    assert result
+
+
+def test_anchored_chain_ra_engine(benchmark, yago_context):
+    """The schema-rewritten shape: anchored fixed-length joins."""
+    query = parse_query(
+        "x1, x2 <- (x1, owns/isLocatedIn, y) && (y, isLocatedIn, z)"
+        " && (z, isLocatedIn, x2)"
+    )
+    term = optimize_term(
+        ucqt_to_ra(query, TranslationContext()), yago_context.store
+    )
+    _cols, rows = benchmark(evaluate_term, term, yago_context.store)
+    assert rows
+
+
+def test_inference_engine_throughput(benchmark):
+    schema = yago_schema()
+    expr = parse("owns/isLocatedIn+/dealsWith+")
+
+    def infer():
+        return InferenceEngine(schema).triples(expr)
+
+    triples = benchmark(infer)
+    assert len(triples) == 1
+
+
+def test_pattern_engine_anchored_expansion(benchmark, yago_context):
+    from repro.gdb.engine import PatternEngine
+
+    engine = PatternEngine(yago_context.graph)
+    query = parse_query("x1, x2 <- (x1, owns/isLocatedIn+, x2)")
+    result = benchmark(engine.evaluate_ucqt, query)
+    assert result

@@ -1,0 +1,34 @@
+"""Table 3 — dataset characteristics, and generator throughput."""
+
+from conftest import LDBC_SCALE_FACTORS, write_output
+
+from repro.bench.experiments import table3_datasets
+from repro.datasets.ldbc import generate_ldbc
+from repro.datasets.yago import generate_yago
+
+
+def test_table3_experiment_benchmark(benchmark):
+    result = benchmark.pedantic(
+        lambda: table3_datasets(
+            scale_factors=LDBC_SCALE_FACTORS, yago_scale=1.0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_output("table3", result.text)
+    print("\n" + result.text)
+    # YAGO row + one row per scale factor
+    assert len(result.data["rows"]) == 1 + len(LDBC_SCALE_FACTORS)
+    # node counts grow with the scale factor
+    ldbc_nodes = [row[4] for row in result.data["rows"][1:]]
+    assert ldbc_nodes == sorted(ldbc_nodes)
+
+
+def test_generate_ldbc_sf1(benchmark):
+    graph = benchmark(generate_ldbc, 1)
+    assert graph.node_count > 500
+
+
+def test_generate_yago(benchmark):
+    graph = benchmark(generate_yago, 0.5)
+    assert graph.node_count > 2000

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The build environment has no network and no ``wheel`` package, so modern
+PEP 517 editable installs (which shell out to ``bdist_wheel``) fail. This
+shim lets ``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` code path. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,82 @@
+"""repro — Schema-Based Query Optimisation for Graph Databases.
+
+A full reproduction of the SIGMOD 2025 paper by Sharma, Genevès, Gesbert
+and Layaïda (arXiv:2403.01863): UCQT graph queries over Tarski's algebra,
+graph schemas, the schema-based rewriting pipeline (type inference, PlC,
+triple merging, redundancy removal), plus the execution substrates used by
+the paper's evaluation — a recursive relational algebra engine, a
+``WITH RECURSIVE`` SQL backend (executed on SQLite), and a graph-pattern
+engine with Cypher emission.
+
+Quickstart::
+
+    from repro import (
+        parse_path, parse_query, rewrite_query, evaluate_ucqt,
+        yago_example_schema, yago_example_graph,
+    )
+
+    schema = yago_example_schema()
+    graph = yago_example_graph()
+    query = parse_query("x1, x2 <- (x1, livesIn/isLocatedIn+/dealsWith+, x2)")
+    result = rewrite_query(query, schema)
+    print(result.query)            # the schema-enriched UCQT
+    evaluate_ucqt(graph, result.query)
+"""
+
+from repro.algebra import parse as parse_path
+from repro.algebra import to_text as path_to_text
+from repro.core import (
+    RewriteOptions,
+    RewriteResult,
+    compatible_triples,
+    merge_triples,
+    rewrite_query,
+    simplify,
+)
+from repro.errors import (
+    ConsistencyError,
+    EmptyQueryError,
+    ParseError,
+    QueryTimeout,
+    ReproError,
+    SchemaError,
+    TranslationError,
+)
+from repro.graph import EvalBudget, PropertyGraph, evaluate_path
+from repro.graph.model import yago_example_graph
+from repro.query import CQT, UCQT, evaluate_ucqt, parse_query
+from repro.schema import GraphSchema, SchemaBuilder, check_consistency
+from repro.schema.builder import yago_example_schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "parse_path",
+    "path_to_text",
+    "parse_query",
+    "simplify",
+    "compatible_triples",
+    "merge_triples",
+    "rewrite_query",
+    "RewriteOptions",
+    "RewriteResult",
+    "PropertyGraph",
+    "GraphSchema",
+    "SchemaBuilder",
+    "check_consistency",
+    "evaluate_path",
+    "evaluate_ucqt",
+    "EvalBudget",
+    "CQT",
+    "UCQT",
+    "yago_example_schema",
+    "yago_example_graph",
+    "ReproError",
+    "ParseError",
+    "SchemaError",
+    "ConsistencyError",
+    "EmptyQueryError",
+    "QueryTimeout",
+    "TranslationError",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Tarski's algebra for path expressions (paper Fig. 3 and §3.1.1).
+
+Public surface:
+
+* :mod:`repro.algebra.ast` — the expression node types.
+* :func:`repro.algebra.parse` — text to AST.
+* :func:`repro.algebra.to_text` — AST to canonical text.
+"""
+
+from repro.algebra.ast import (
+    AnnotatedConcat,
+    BranchLeft,
+    BranchRight,
+    Concat,
+    Conj,
+    Edge,
+    PathExpr,
+    Plus,
+    Repeat,
+    Reverse,
+    Union,
+    concat_all,
+    union_all,
+)
+from repro.algebra.parser import parse
+from repro.algebra.printer import to_text
+
+__all__ = [
+    "AnnotatedConcat",
+    "BranchLeft",
+    "BranchRight",
+    "Concat",
+    "Conj",
+    "Edge",
+    "PathExpr",
+    "Plus",
+    "Repeat",
+    "Reverse",
+    "Union",
+    "concat_all",
+    "union_all",
+    "parse",
+    "to_text",
+]

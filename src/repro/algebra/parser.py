@@ -1,0 +1,240 @@
+"""Parser for path expressions in Tarski's algebra.
+
+Accepted syntax (mirrors Table 4 of the paper, ASCII-first)::
+
+    knows                       edge label
+    -hasCreator                 reverse
+    a/b                         concatenation
+    a | b      or   a ∪ b       union
+    a & b      or   a ∩ b       conjunction
+    a[b]                        branch right
+    [a]b                        branch left
+    a+                          transitive closure
+    knows1..3                   bounded repetition (sugar)
+    a /{PERSON} b               annotated concatenation (§3.1.1)
+    a /{CITY,REGION} b          annotation with a label set
+
+Operator precedence, loosest to tightest: ``|``, ``&``, ``/``, postfix
+(``+``, ``[...]``, ``lo..hi``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.algebra.ast import (
+    AnnotatedConcat,
+    BranchLeft,
+    BranchRight,
+    Concat,
+    Conj,
+    Edge,
+    PathExpr,
+    Plus,
+    Repeat,
+    Reverse,
+    Union,
+)
+from repro.errors import ParseError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<dotdot>\.\.)
+  | (?P<int>\d+)
+  | (?P<label>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<sym>[/|&()\[\]{},+-]|∪|∩)
+    """,
+    re.VERBOSE,
+)
+
+_SYM_ALIASES = {"∪": "|", "∩": "&"}  # ∪, ∩
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # 'label' | 'int' | 'dotdot' | one-char symbol | 'eof'
+    value: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", text, pos)
+        pos = match.end()
+        if match.lastgroup == "ws":
+            continue
+        if match.lastgroup == "dotdot":
+            tokens.append(_Token("dotdot", "..", match.start()))
+        elif match.lastgroup == "int":
+            tokens.append(_Token("int", match.group(), match.start()))
+        elif match.lastgroup == "label":
+            label = match.group()
+            # `knows1..3` lexes as one label; split the trailing digits off
+            # when a `..` follows so bounded repetition parses (Table 4).
+            trailing = re.search(r"\d+$", label)
+            if trailing and text[pos : pos + 2] == "..":
+                stem = label[: trailing.start()]
+                if stem:
+                    tokens.append(_Token("label", stem, match.start()))
+                    tokens.append(
+                        _Token("int", trailing.group(), match.start() + trailing.start())
+                    )
+                    continue
+            tokens.append(_Token("label", label, match.start()))
+        else:
+            sym = match.group()
+            sym = _SYM_ALIASES.get(sym, sym)
+            tokens.append(_Token(sym, sym, match.start()))
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token helpers -------------------------------------------------
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind!r} but found {token.value or 'end of input'!r}",
+                self.text,
+                token.position,
+            )
+        return self.advance()
+
+    # -- grammar -------------------------------------------------------
+    def parse(self) -> PathExpr:
+        expr = self.union()
+        token = self.peek()
+        if token.kind != "eof":
+            raise ParseError(
+                f"trailing input starting at {token.value!r}", self.text, token.position
+            )
+        return expr
+
+    def union(self) -> PathExpr:
+        expr = self.conj()
+        while self.peek().kind == "|":
+            self.advance()
+            expr = Union(expr, self.conj())
+        return expr
+
+    def conj(self) -> PathExpr:
+        expr = self.concat()
+        while self.peek().kind == "&":
+            self.advance()
+            expr = Conj(expr, self.concat())
+        return expr
+
+    def concat(self) -> PathExpr:
+        expr = self.prefixed()
+        while self.peek().kind == "/":
+            self.advance()
+            labels = self._maybe_annotation()
+            right = self.prefixed()
+            if labels is None:
+                expr = Concat(expr, right)
+            else:
+                expr = AnnotatedConcat(expr, right, labels)
+        return expr
+
+    def _maybe_annotation(self) -> frozenset[str] | None:
+        """After a ``/``, parse an optional ``{L1,L2,...}`` annotation."""
+        if self.peek().kind != "{":
+            return None
+        self.advance()
+        labels = [self.expect("label").value]
+        while self.peek().kind == ",":
+            self.advance()
+            labels.append(self.expect("label").value)
+        self.expect("}")
+        return frozenset(labels)
+
+    def prefixed(self) -> PathExpr:
+        # Left branch: `[phi1]phi2` binds to the following postfix expression.
+        if self.peek().kind == "[":
+            self.advance()
+            branch = self.union()
+            self.expect("]")
+            main = self.prefixed()
+            return BranchLeft(branch, main)
+        return self.postfix()
+
+    def postfix(self) -> PathExpr:
+        expr = self.atom()
+        while True:
+            token = self.peek()
+            if token.kind == "+":
+                self.advance()
+                expr = Plus(expr)
+            elif token.kind == "[":
+                self.advance()
+                branch = self.union()
+                self.expect("]")
+                expr = BranchRight(expr, branch)
+            elif token.kind == "int":
+                lo_token = self.advance()
+                self.expect("dotdot")
+                hi_token = self.expect("int")
+                lo, hi = int(lo_token.value), int(hi_token.value)
+                if lo < 1 or hi < lo:
+                    raise ParseError(
+                        f"invalid repetition bounds {lo}..{hi}",
+                        self.text,
+                        lo_token.position,
+                    )
+                expr = Repeat(expr, lo, hi)
+            else:
+                return expr
+
+    def atom(self) -> PathExpr:
+        token = self.peek()
+        if token.kind == "label":
+            self.advance()
+            return Edge(token.value)
+        if token.kind == "-":
+            self.advance()
+            label = self.expect("label")
+            return Reverse(Edge(label.value))
+        if token.kind == "(":
+            self.advance()
+            expr = self.union()
+            self.expect(")")
+            return expr
+        raise ParseError(
+            f"expected an edge label, '-', '[' or '(' but found "
+            f"{token.value or 'end of input'!r}",
+            self.text,
+            token.position,
+        )
+
+
+def parse(text: str) -> PathExpr:
+    """Parse ``text`` into a :class:`~repro.algebra.ast.PathExpr`.
+
+    Raises:
+        ParseError: on malformed input, with the failing offset.
+    """
+    if not text or not text.strip():
+        raise ParseError("empty path expression", text, 0)
+    return _Parser(text).parse()

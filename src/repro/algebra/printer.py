@@ -1,0 +1,90 @@
+"""Canonical text rendering of path expressions.
+
+``parse(to_text(expr)) == expr`` holds for every expression (round-trip
+property, tested with hypothesis). Parentheses are emitted only where the
+grammar's precedence requires them.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.ast import (
+    AnnotatedConcat,
+    BranchLeft,
+    BranchRight,
+    Concat,
+    Conj,
+    Edge,
+    PathExpr,
+    Plus,
+    Repeat,
+    Reverse,
+    Union,
+)
+
+# Binding strength per node type; higher binds tighter. The parser's grammar
+# layers are union < conj < concat < prefix (left branch) < postfix/atom.
+_UNION = 1
+_CONJ = 2
+_CONCAT = 3
+_PREFIX = 4
+_POSTFIX = 5
+
+
+def _level(expr: PathExpr) -> int:
+    if isinstance(expr, Union):
+        return _UNION
+    if isinstance(expr, Conj):
+        return _CONJ
+    if isinstance(expr, (Concat, AnnotatedConcat)):
+        return _CONCAT
+    if isinstance(expr, BranchLeft):
+        return _PREFIX
+    return _POSTFIX
+
+
+def _child(expr: PathExpr, min_level: int) -> str:
+    text = to_text(expr)
+    if _level(expr) < min_level:
+        return f"({text})"
+    return text
+
+
+def to_text(expr: PathExpr) -> str:
+    """Render ``expr`` with minimal parenthesisation."""
+    if isinstance(expr, Edge):
+        return expr.label
+    if isinstance(expr, Reverse):
+        return f"-{expr.expr.label}"
+    if isinstance(expr, (Concat, AnnotatedConcat)):
+        # '/' is left-associative: a right-nested concat needs parentheses
+        # (a/(b/c) is a different tree from a/b/c).
+        left = _child(expr.left, _CONCAT)
+        right = _child(expr.right, _CONCAT + 1)
+        if isinstance(expr, AnnotatedConcat):
+            labels = ",".join(sorted(expr.labels))
+            return f"{left}/{{{labels}}}{right}"
+        return f"{left}/{right}"
+    if isinstance(expr, Union):
+        left = _child(expr.left, _UNION)
+        right = _child(expr.right, _UNION + 1)
+        return f"{left} | {right}"
+    if isinstance(expr, Conj):
+        left = _child(expr.left, _CONJ)
+        right = _child(expr.right, _CONJ + 1)
+        return f"{left} & {right}"
+    if isinstance(expr, BranchRight):
+        main = _child(expr.main, _POSTFIX)
+        return f"{main}[{to_text(expr.branch)}]"
+    if isinstance(expr, BranchLeft):
+        main = _child(expr.main, _PREFIX)
+        return f"[{to_text(expr.branch)}]{main}"
+    if isinstance(expr, Plus):
+        return f"{_child(expr.expr, _POSTFIX)}+"
+    if isinstance(expr, Repeat):
+        inner = _child(expr.expr, _POSTFIX)
+        # A label ending in a digit would fuse with the lower bound
+        # ("knows1" + "2..3" lexes as knows 12..3); force parentheses.
+        if inner and inner[-1].isdigit():
+            inner = f"({inner})"
+        return f"{inner}{expr.lo}..{expr.hi}"
+    raise TypeError(f"unknown path expression node: {expr!r}")

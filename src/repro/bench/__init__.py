@@ -1,0 +1,20 @@
+"""Benchmark harness reproducing every table and figure of the paper.
+
+* :mod:`repro.bench.runner` — timed query execution with the cooperative
+  timeout (paper §5.1.5) over the four engines.
+* :mod:`repro.bench.stats` — quartile/mean summaries (Tables 7-8, box
+  plots of Figs. 13-14).
+* :mod:`repro.bench.experiments` — one entry point per table/figure.
+* :mod:`repro.bench.reporting` — fixed-width rendering of the paper's rows.
+"""
+
+from repro.bench.runner import BenchmarkContext, QueryRun, run_workload
+from repro.bench.stats import SummaryStats, summarize
+
+__all__ = [
+    "BenchmarkContext",
+    "QueryRun",
+    "run_workload",
+    "SummaryStats",
+    "summarize",
+]

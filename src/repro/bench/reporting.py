@@ -1,0 +1,66 @@
+"""Fixed-width text rendering of the paper's tables and figures."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.bench.stats import SummaryStats
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    note: str = "",
+) -> str:
+    """Simple fixed-width table with a title banner."""
+    materialized = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(value.ljust(widths[i]) for i, value in enumerate(values))
+
+    separator = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    parts = [f"== {title} ==", line(list(headers)), separator]
+    parts.extend(line(row) for row in materialized)
+    if note:
+        parts.append(f"note: {note}")
+    return "\n".join(parts)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:,.1f}"
+        if value >= 1:
+            return f"{value:.3f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def summary_row(label: str, stats: SummaryStats) -> list:
+    return [
+        label,
+        stats.count,
+        stats.minimum,
+        stats.q1,
+        stats.median,
+        stats.q3,
+        stats.maximum,
+        stats.mean,
+    ]
+
+
+SUMMARY_HEADERS = ("group", "Count", "Min", "Q1", "Median", "Q3", "Max", "Mean")
+
+
+def render_boxplot_row(label: str, stats: SummaryStats, scale: float = 1.0) -> str:
+    """A one-line ASCII 'box plot': min [Q1|median|Q3] max."""
+    return (
+        f"{label:>14}  {stats.minimum:8.3f} "
+        f"[{stats.q1:8.3f} | {stats.median:8.3f} | {stats.q3:8.3f}] "
+        f"{stats.maximum:9.3f}  (mean {stats.mean:8.3f}, n={stats.count})"
+    )

@@ -1,0 +1,140 @@
+"""Summary statistics for benchmark runs (Tables 7-8, Figs. 13-14).
+
+The paper reports Count / Min / Q1 / Q2 (median) / Q3 / Max / Mean over
+query runtimes, with timed-out runs included at the timeout cap (visible
+as ``Max = 1800.0`` in Table 7). :func:`summarize` reproduces exactly that
+convention.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.bench.runner import QueryRun
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Count/Min/Q1/Median/Q3/Max/Mean of a runtime sample (seconds)."""
+
+    count: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+
+    def row(self) -> tuple:
+        return (
+            self.count,
+            round(self.minimum, 4),
+            round(self.q1, 3),
+            round(self.median, 3),
+            round(self.q3, 3),
+            round(self.maximum, 3),
+            round(self.mean, 3),
+        )
+
+
+def quartiles(values: Sequence[float]) -> tuple[float, float, float]:
+    """Q1/Q2/Q3 with linear interpolation (matches pandas/NumPy default)."""
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("cannot compute quartiles of an empty sample")
+    if len(ordered) == 1:
+        only = ordered[0]
+        return only, only, only
+
+    def percentile(fraction: float) -> float:
+        position = fraction * (len(ordered) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(ordered) - 1)
+        weight = position - lower
+        return ordered[lower] * (1 - weight) + ordered[upper] * weight
+
+    return percentile(0.25), percentile(0.5), percentile(0.75)
+
+
+def summarize(values: Iterable[float]) -> SummaryStats:
+    sample = list(values)
+    if not sample:
+        return SummaryStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    q1, median, q3 = quartiles(sample)
+    return SummaryStats(
+        count=len(sample),
+        minimum=min(sample),
+        q1=q1,
+        median=median,
+        q3=q3,
+        maximum=max(sample),
+        mean=statistics.fmean(sample),
+    )
+
+
+def summarize_runs(runs: Iterable[QueryRun]) -> SummaryStats:
+    """Summary over run times, timeouts included at the cap (paper style)."""
+    return summarize(run.seconds for run in runs)
+
+
+def paired_speedup(
+    baseline_runs: Sequence[QueryRun], schema_runs: Sequence[QueryRun]
+) -> float:
+    """Mean-time ratio baseline/schema over the paired runs (the paper's
+    "N times faster on average" figure, e.g. 3.26 in §5.4)."""
+    baseline_mean = statistics.fmean(r.seconds for r in baseline_runs)
+    schema_mean = statistics.fmean(r.seconds for r in schema_runs)
+    if schema_mean == 0:
+        return float("inf")
+    return baseline_mean / schema_mean
+
+
+def geometric_mean_speedup(
+    baseline_runs: Sequence[QueryRun], schema_runs: Sequence[QueryRun]
+) -> float:
+    """Geometric mean of per-query ratios (robust complementary figure).
+
+    Runs are paired by (query id, scale factor, engine) so pooled
+    multi-scale samples pair correctly.
+    """
+    by_key = {
+        (run.qid, run.scale_factor, run.engine): run for run in schema_runs
+    }
+    ratios = []
+    for run in baseline_runs:
+        partner = by_key.get((run.qid, run.scale_factor, run.engine))
+        if partner is None or partner.seconds == 0:
+            continue
+        ratios.append(run.seconds / partner.seconds)
+    if not ratios:
+        return 1.0
+    return statistics.geometric_mean(ratios)
+
+
+def feasibility_counts(runs: Sequence[QueryRun]) -> tuple[int, int, float]:
+    """(feasible, total, percentage) — the Table 5 cells."""
+    total = len(runs)
+    feasible = sum(1 for run in runs if run.feasible)
+    percentage = 100.0 * feasible / total if total else 0.0
+    return feasible, total, percentage
+
+
+def split_runs(
+    runs: Sequence[QueryRun],
+    variant: str | None = None,
+    recursive: bool | None = None,
+    feasible_only: bool = False,
+) -> list[QueryRun]:
+    """Filter runs along the dimensions the paper groups by."""
+    kept = []
+    for run in runs:
+        if variant is not None and run.variant != variant:
+            continue
+        if recursive is not None and run.recursive != recursive:
+            continue
+        if feasible_only and not run.feasible:
+            continue
+        kept.append(run)
+    return kept

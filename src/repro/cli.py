@@ -1,0 +1,69 @@
+"""Command-line entry point: ``repro-bench <experiment> [--full]``.
+
+Experiments: table3, table5, table6, fig12, fig13, fig14, fig15, tables78,
+reversion, ablation, all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import experiments as exp
+
+
+def _run_tables78(full: bool) -> exp.ExperimentResult:
+    scale_factors = exp.FULL_SCALE_FACTORS if full else exp.QUICK_SCALE_FACTORS
+    fig13 = exp.fig13_ldbc(scale_factors=scale_factors)
+    pooled = [run for runs in fig13.data["runs_by_sf"].values() for run in runs]
+    return exp.table7_table8(pooled)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "table3", "table5", "table6", "fig12", "fig13", "fig14",
+            "fig15", "tables78", "reversion", "ablation", "all",
+        ],
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use all six LDBC scale factors (slow) instead of the quick four",
+    )
+    parser.add_argument(
+        "--engine",
+        default="ra",
+        choices=["ra", "sqlite", "gdb", "reference"],
+        help="execution engine for runtime experiments",
+    )
+    args = parser.parse_args(argv)
+    scale_factors = exp.FULL_SCALE_FACTORS if args.full else exp.QUICK_SCALE_FACTORS
+
+    runners = {
+        "table3": lambda: exp.table3_datasets(scale_factors),
+        "table5": lambda: exp.table5_feasibility(scale_factors, engine=args.engine),
+        "table6": exp.table6_paths,
+        "fig12": lambda: exp.fig12_yago(engine=args.engine),
+        "fig13": lambda: exp.fig13_ldbc(scale_factors, engine=args.engine),
+        "fig14": lambda: exp.fig14_backends(),
+        "fig15": exp.fig15_16_17,
+        "tables78": lambda: _run_tables78(args.full),
+        "reversion": exp.reversion_census,
+        "ablation": exp.ablation_pipeline,
+    }
+    names = list(runners) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        result = runners[name]()
+        print(result.text)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

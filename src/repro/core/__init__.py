@@ -1,0 +1,38 @@
+"""The paper's primary contribution: schema-based query rewriting (§3).
+
+Pipeline (Fig. 10's Rewriter module):
+
+1. :func:`repro.core.simplify.simplify` — preliminary path simplification
+   (rules R1–R5, Fig. 6).
+2. :func:`repro.core.inference.compatible_triples` — the path-expression /
+   schema-triple compatibility relation ``⊢S ϕ : t`` (Fig. 8), with
+   :func:`repro.core.plus.plus_compatibility` implementing ``PlC`` (Def. 8).
+3. :func:`repro.core.merge.merge_triples` — merged triples ``MS(ϕ)``
+   (Def. 9) and :func:`repro.core.redundancy.remove_redundant_annotations`
+   (§3.2.2).
+4. :func:`repro.core.translate.schema_enriched_query` — ``RS(ϕ)``
+   (Def. 11) via ``Q(α,β,ψ)`` (Fig. 9).
+5. :func:`repro.core.rewriter.rewrite_query` — the full pipeline applied to
+   every relation of a UCQT query.
+"""
+
+from repro.core.inference import compatible_triples
+from repro.core.merge import MergedTriple, merge_triples
+from repro.core.plus import plus_compatibility
+from repro.core.redundancy import remove_redundant_annotations
+from repro.core.rewriter import RewriteOptions, RewriteResult, rewrite_query
+from repro.core.simplify import simplify
+from repro.core.translate import schema_enriched_query
+
+__all__ = [
+    "simplify",
+    "compatible_triples",
+    "plus_compatibility",
+    "merge_triples",
+    "MergedTriple",
+    "remove_redundant_annotations",
+    "schema_enriched_query",
+    "rewrite_query",
+    "RewriteOptions",
+    "RewriteResult",
+]

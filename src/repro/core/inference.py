@@ -1,0 +1,205 @@
+"""The path-expression / schema-triple compatibility relation (paper Fig. 8).
+
+``TS(ϕ) = {t | ⊢S ϕ : t}`` is computed by structural recursion that mirrors
+the inference rules exactly:
+
+* **TBASIC** — an edge label is compatible with each basic schema triple
+  carrying it (Def. 5).
+* **TMINUS** — reversing swaps source and target.
+* **TCONCAT** — triples chain when the left target equals the right source;
+  the junction becomes an annotated concatenation ``ψ1/l ψ2``.
+* **TUNION L/R** — a union is compatible with each side's triples.
+* **TCONJ** — both sides must agree on source *and* target labels.
+* **TBRANCH R/L** — branches chain like concatenation but keep the main
+  expression's endpoints.
+* **TPLUS** — delegates to ``PlC`` (Def. 8, :mod:`repro.core.plus`).
+
+Bounded repetitions (``knows1..3``) are UCQT sugar and are expanded before
+inference.
+
+The engine memoises per sub-expression: ``TS`` is requested repeatedly for
+shared subterms (e.g. by TPLUS and by Table 6 statistics collection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.ast import (
+    AnnotatedConcat,
+    BranchLeft,
+    BranchRight,
+    Concat,
+    Conj,
+    Edge,
+    PathExpr,
+    Plus,
+    Repeat,
+    Reverse,
+    Union,
+)
+from repro.core.plus import (
+    DEFAULT_MAX_PATHS,
+    PlusStatistics,
+    plus_compatibility_with_stats,
+)
+from repro.errors import UnknownLabelError
+from repro.schema.model import GraphSchema
+from repro.schema.triples import SchemaTriple, triples_for_edge_label
+
+
+@dataclass
+class InferenceEngine:
+    """Computes ``TS(ϕ)`` against a fixed schema, with memoisation.
+
+    Attributes:
+        schema: the graph schema S.
+        max_paths: the simple-path cap handed to ``PlC``.
+        strict_labels: when True (default), an edge label absent from the
+            schema raises :class:`UnknownLabelError`; when False it simply
+            yields no triples (the query is unsatisfiable under S).
+    """
+
+    schema: GraphSchema
+    max_paths: int = DEFAULT_MAX_PATHS
+    strict_labels: bool = True
+    _cache: dict[PathExpr, frozenset[SchemaTriple]] = field(default_factory=dict)
+    #: PlC statistics per closed subterm, for Table 6.
+    plus_stats: dict[Plus, PlusStatistics] = field(default_factory=dict)
+
+    def triples(self, expr: PathExpr) -> frozenset[SchemaTriple]:
+        """``TS(expr)`` — all schema triples compatible with ``expr``."""
+        cached = self._cache.get(expr)
+        if cached is not None:
+            return cached
+        result = self._compute(expr)
+        self._cache[expr] = result
+        return result
+
+    # -- rule dispatch ---------------------------------------------------
+    def _compute(self, expr: PathExpr) -> frozenset[SchemaTriple]:
+        if isinstance(expr, Edge):
+            return self._basic(expr.label, reverse=False)
+        if isinstance(expr, Reverse):
+            return self._basic(expr.expr.label, reverse=True)
+        if isinstance(expr, Concat):
+            return self._concat(expr)
+        if isinstance(expr, Union):
+            return self.triples(expr.left) | self.triples(expr.right)
+        if isinstance(expr, Conj):
+            return self._conj(expr)
+        if isinstance(expr, BranchRight):
+            return self._branch_right(expr)
+        if isinstance(expr, BranchLeft):
+            return self._branch_left(expr)
+        if isinstance(expr, Plus):
+            return self._plus(expr)
+        if isinstance(expr, Repeat):
+            return self.triples(expr.expand())
+        if isinstance(expr, AnnotatedConcat):
+            raise TypeError(
+                "inference runs on plain path expressions; annotations are "
+                "produced, not consumed, by TS"
+            )
+        raise TypeError(f"unknown path expression node: {expr!r}")
+
+    # -- individual rules --------------------------------------------------
+    def _basic(self, label: str, reverse: bool) -> frozenset[SchemaTriple]:
+        """TBASIC and TMINUS."""
+        if not self.schema.has_edge_label(label):
+            if self.strict_labels:
+                raise UnknownLabelError(label, kind="edge")
+            return frozenset()
+        base = triples_for_edge_label(self.schema, label)
+        if not reverse:
+            return base
+        return frozenset(
+            SchemaTriple(t.target, Reverse(Edge(label)), t.source) for t in base
+        )
+
+    def _concat(self, expr: Concat) -> frozenset[SchemaTriple]:
+        """TCONCAT: chain left and right triples through a shared label."""
+        left = self.triples(expr.left)
+        right_by_source: dict[str, list[SchemaTriple]] = {}
+        for triple in self.triples(expr.right):
+            right_by_source.setdefault(triple.source, []).append(triple)
+        result: set[SchemaTriple] = set()
+        for t1 in left:
+            for t2 in right_by_source.get(t1.target, ()):
+                junction = frozenset({t1.target})
+                result.add(
+                    SchemaTriple(
+                        t1.source,
+                        AnnotatedConcat(t1.expr, t2.expr, junction),
+                        t2.target,
+                    )
+                )
+        return frozenset(result)
+
+    def _conj(self, expr: Conj) -> frozenset[SchemaTriple]:
+        """TCONJ: both sides must share source and target labels."""
+        left = self.triples(expr.left)
+        right_by_ends: dict[tuple[str, str], list[SchemaTriple]] = {}
+        for triple in self.triples(expr.right):
+            right_by_ends.setdefault((triple.source, triple.target), []).append(
+                triple
+            )
+        result: set[SchemaTriple] = set()
+        for t1 in left:
+            for t2 in right_by_ends.get((t1.source, t1.target), ()):
+                result.add(
+                    SchemaTriple(t1.source, Conj(t1.expr, t2.expr), t1.target)
+                )
+        return frozenset(result)
+
+    def _branch_right(self, expr: BranchRight) -> frozenset[SchemaTriple]:
+        """TBRANCH R: the branch hangs off the main expression's target."""
+        main = self.triples(expr.main)
+        branch_sources: dict[str, list[SchemaTriple]] = {}
+        for triple in self.triples(expr.branch):
+            branch_sources.setdefault(triple.source, []).append(triple)
+        result: set[SchemaTriple] = set()
+        for t1 in main:
+            for t2 in branch_sources.get(t1.target, ()):
+                result.add(
+                    SchemaTriple(
+                        t1.source, BranchRight(t1.expr, t2.expr), t1.target
+                    )
+                )
+        return frozenset(result)
+
+    def _branch_left(self, expr: BranchLeft) -> frozenset[SchemaTriple]:
+        """TBRANCH L: the branch hangs off the main expression's source."""
+        main = self.triples(expr.main)
+        branch_sources: dict[str, list[SchemaTriple]] = {}
+        for triple in self.triples(expr.branch):
+            branch_sources.setdefault(triple.source, []).append(triple)
+        result: set[SchemaTriple] = set()
+        for t2 in main:
+            for t1 in branch_sources.get(t2.source, ()):
+                result.add(
+                    SchemaTriple(
+                        t2.source, BranchLeft(t1.expr, t2.expr), t2.target
+                    )
+                )
+        return frozenset(result)
+
+    def _plus(self, expr: Plus) -> frozenset[SchemaTriple]:
+        """TPLUS via PlC (Def. 8)."""
+        inner = self.triples(expr.expr)
+        result, stats = plus_compatibility_with_stats(
+            expr.expr, inner, self.max_paths
+        )
+        self.plus_stats[expr] = stats
+        return result
+
+
+def compatible_triples(
+    schema: GraphSchema,
+    expr: PathExpr,
+    max_paths: int = DEFAULT_MAX_PATHS,
+    strict_labels: bool = True,
+) -> frozenset[SchemaTriple]:
+    """One-shot ``TS(ϕ)`` (constructs a fresh :class:`InferenceEngine`)."""
+    engine = InferenceEngine(schema, max_paths=max_paths, strict_labels=strict_labels)
+    return engine.triples(expr)

@@ -1,0 +1,99 @@
+"""Merging compatible triples — paper Def. 9 and §3.2.1.
+
+Triples sharing the same *underlying* path expression (annotations erased)
+are merged: source labels become a set, target labels become a set, and
+each annotated concatenation step carries the union of the labels that
+annotate the same step across the group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.algebra.ast import AnnotatedConcat, Concat, PathExpr
+from repro.algebra.ops import rebuild, strip_annotations
+from repro.algebra.printer import to_text
+from repro.schema.triples import SchemaTriple
+
+
+@dataclass(frozen=True)
+class MergedTriple:
+    """A merged triple ``(L1, Ψ, L2)`` (Def. 9).
+
+    ``sources``/``targets`` are ``None`` once redundancy removal (§3.2.2)
+    has established that the constraint is implied by the schema (the
+    paper's ``∅`` in Example 13); otherwise they are non-empty label sets.
+    """
+
+    sources: frozenset[str] | None
+    expr: PathExpr
+    targets: frozenset[str] | None
+
+    def __str__(self) -> str:
+        return (
+            f"({_format_labels(self.sources)}, {to_text(self.expr)}, "
+            f"{_format_labels(self.targets)})"
+        )
+
+
+def _format_labels(labels: frozenset[str] | None) -> str:
+    if labels is None:
+        return "∅"
+    return "{" + ",".join(sorted(labels)) + "}"
+
+
+def _merge_pair(a: PathExpr, b: PathExpr) -> PathExpr:
+    """Merge two annotated expressions with identical underlying structure.
+
+    Annotation sets at the same position are unioned; if one side has no
+    annotation at a position (meaning "any label allowed"), the merged
+    position is unannotated too — absence is the top element.
+    """
+    a_annotated = isinstance(a, AnnotatedConcat)
+    b_annotated = isinstance(b, AnnotatedConcat)
+    if a_annotated or b_annotated:
+        a_left, a_right = a.children()
+        b_left, b_right = b.children()
+        left = _merge_pair(a_left, b_left)
+        right = _merge_pair(a_right, b_right)
+        if a_annotated and b_annotated:
+            return AnnotatedConcat(left, right, a.labels | b.labels)  # type: ignore[union-attr]
+        return Concat(left, right)
+    if type(a) is not type(b):
+        raise ValueError(
+            f"cannot merge structurally different expressions {a!r} / {b!r}"
+        )
+    a_children = a.children()
+    b_children = b.children()
+    if not a_children:
+        if a != b:
+            raise ValueError(f"cannot merge distinct leaves {a!r} / {b!r}")
+        return a
+    merged_children = tuple(
+        _merge_pair(ca, cb) for ca, cb in zip(a_children, b_children)
+    )
+    return rebuild(a, merged_children)
+
+
+def merge_triples(triples: Iterable[SchemaTriple]) -> list[MergedTriple]:
+    """Compute the merged triples ``MS(ϕ)`` from ``TS(ϕ)`` (Def. 9).
+
+    The result is sorted by the textual form of the underlying expression,
+    so rewriting is deterministic.
+    """
+    groups: dict[PathExpr, list[SchemaTriple]] = {}
+    for triple in triples:
+        underlying = strip_annotations(triple.expr)
+        groups.setdefault(underlying, []).append(triple)
+
+    merged: list[MergedTriple] = []
+    for underlying in sorted(groups, key=to_text):
+        group = groups[underlying]
+        sources = frozenset(t.source for t in group)
+        targets = frozenset(t.target for t in group)
+        expr = group[0].expr
+        for other in group[1:]:
+            expr = _merge_pair(expr, other.expr)
+        merged.append(MergedTriple(sources, expr, targets))
+    return merged

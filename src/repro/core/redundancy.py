@@ -1,0 +1,126 @@
+"""Removal of redundant annotations — paper §3.2.2.
+
+An annotation is *redundant* when the whole database already conforms to
+it: filtering by the annotated label set would keep everything and only add
+cost. We detect this by computing, from the schema, an over-approximation
+of the node labels that can possibly occur at each junction; if that set is
+contained in the annotation, the annotation is dropped. The same test
+applies to the merged triple's endpoint label sets (the paper's ``∅`` in
+Example 13).
+
+Because the possible-label computation *over*-approximates, removal is
+conservative: we never drop an annotation that could filter something.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.ast import (
+    AnnotatedConcat,
+    BranchLeft,
+    BranchRight,
+    Concat,
+    Conj,
+    Edge,
+    PathExpr,
+    Plus,
+    Repeat,
+    Reverse,
+    Union,
+)
+from repro.core.merge import MergedTriple
+from repro.schema.model import GraphSchema
+
+
+def possible_sources(schema: GraphSchema, expr: PathExpr) -> frozenset[str]:
+    """Over-approximation of labels of nodes where ``expr`` paths start."""
+    if isinstance(expr, Edge):
+        return schema.source_labels(expr.label)
+    if isinstance(expr, Reverse):
+        return schema.target_labels(expr.expr.label)
+    if isinstance(expr, (Concat, AnnotatedConcat)):
+        return possible_sources(schema, expr.left)
+    if isinstance(expr, Union):
+        return possible_sources(schema, expr.left) | possible_sources(
+            schema, expr.right
+        )
+    if isinstance(expr, Conj):
+        return possible_sources(schema, expr.left) & possible_sources(
+            schema, expr.right
+        )
+    if isinstance(expr, BranchRight):
+        return possible_sources(schema, expr.main)
+    if isinstance(expr, BranchLeft):
+        return possible_sources(schema, expr.main) & possible_sources(
+            schema, expr.branch
+        )
+    if isinstance(expr, (Plus, Repeat)):
+        return possible_sources(schema, expr.expr)
+    raise TypeError(f"unknown path expression node: {expr!r}")
+
+
+def possible_targets(schema: GraphSchema, expr: PathExpr) -> frozenset[str]:
+    """Over-approximation of labels of nodes where ``expr`` paths end."""
+    if isinstance(expr, Edge):
+        return schema.target_labels(expr.label)
+    if isinstance(expr, Reverse):
+        return schema.source_labels(expr.expr.label)
+    if isinstance(expr, (Concat, AnnotatedConcat)):
+        return possible_targets(schema, expr.right)
+    if isinstance(expr, Union):
+        return possible_targets(schema, expr.left) | possible_targets(
+            schema, expr.right
+        )
+    if isinstance(expr, Conj):
+        return possible_targets(schema, expr.left) & possible_targets(
+            schema, expr.right
+        )
+    if isinstance(expr, BranchRight):
+        return possible_targets(schema, expr.main) & possible_sources(
+            schema, expr.branch
+        )
+    if isinstance(expr, BranchLeft):
+        return possible_targets(schema, expr.main)
+    if isinstance(expr, (Plus, Repeat)):
+        # A closure path ends with a final step of the inner expression.
+        return possible_targets(schema, expr.expr)
+    raise TypeError(f"unknown path expression node: {expr!r}")
+
+
+def _strip_redundant(schema: GraphSchema, expr: PathExpr) -> PathExpr:
+    if isinstance(expr, AnnotatedConcat):
+        left = _strip_redundant(schema, expr.left)
+        right = _strip_redundant(schema, expr.right)
+        # Paper rule (§3.2.2, Example 13): the annotation is dropped when
+        # one *adjacent* step already guarantees it — every label the left
+        # part can end at, or every label the right part can start from,
+        # lies inside the annotation. (Example 13 drops {CITY} because
+        # livesIn only targets CITY, and {COUNTRY} because dealsWith only
+        # starts at COUNTRY, but keeps {REGION}.)
+        if possible_targets(schema, left) <= expr.labels:
+            return Concat(left, right)
+        if possible_sources(schema, right) <= expr.labels:
+            return Concat(left, right)
+        return AnnotatedConcat(left, right, expr.labels)
+    children = expr.children()
+    if not children:
+        return expr
+    new_children = tuple(_strip_redundant(schema, child) for child in children)
+    if new_children == children:
+        return expr
+    from repro.algebra.ops import rebuild
+
+    return rebuild(expr, new_children)
+
+
+def remove_redundant_annotations(
+    schema: GraphSchema, triple: MergedTriple
+) -> MergedTriple:
+    """Drop annotations (and endpoint constraints) implied by the schema."""
+    expr = _strip_redundant(schema, triple.expr)
+    sources = triple.sources
+    if sources is not None and possible_sources(schema, expr) <= sources:
+        sources = None
+    targets = triple.targets
+    if targets is not None and possible_targets(schema, expr) <= targets:
+        targets = None
+    return MergedTriple(sources, expr, targets)

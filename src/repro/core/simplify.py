@@ -1,0 +1,110 @@
+"""Preliminary path simplification — rules R1–R5 (paper Fig. 6).
+
+The rules, applied bottom-up to a fixpoint:
+
+* **R1**  ``(ϕ+)+ → ϕ+`` — nested closures are redundant.
+* **R2**  ``ψ[ϕ+] → ψ[ϕ]`` — a transitive closure in *branch* position only
+  acts as an existential test, and a ``ϕ+`` path exists from a node iff a
+  single ``ϕ`` step does. The paper prints the rule with a closed main
+  expression (``ϕ1+[ϕ2+]``); the existential-semantics argument it invokes
+  justifies the rule for *any* main expression, which is what we implement.
+* **R3**  ``ϕ1[ϕ2/ϕ3] → ϕ1[ϕ2[ϕ3]]`` — concatenation inside a branch
+  becomes a nested branch (only the existence of the full path matters).
+* **R4**  ``[ϕ+]ψ → [ϕ]ψ`` — mirror of R2 for left branches.
+* **R5**  ``[ϕ2/ϕ3]ϕ1 → [ϕ2[ϕ3]]ϕ1`` — mirror of R3.
+
+Note on the paper's Fig. 7 example: the printed ``ϕopt`` also drops the
+closure of ``isMarriedTo+`` *in main position inside a branch*
+(``owns[isMarriedTo+[...]] → owns[isMarriedTo[...]]``). That step is not
+semantics-preserving on arbitrary graphs (a node two ``isMarriedTo`` hops
+away may satisfy the nested test while the one-hop neighbour does not), so
+this implementation applies only the sound R1–R5 above; the corresponding
+test documents the divergence.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.ast import (
+    BranchLeft,
+    BranchRight,
+    Concat,
+    PathExpr,
+    Plus,
+    Repeat,
+)
+from repro.algebra.ops import transform_bottom_up
+
+
+def _simplify_once(node: PathExpr) -> PathExpr:
+    # R1: (phi+)+ -> phi+
+    if isinstance(node, Plus) and isinstance(node.expr, Plus):
+        return node.expr
+    # Repeat of a closed expression collapses too: (phi+){lo..hi} == phi+.
+    if isinstance(node, Plus) and isinstance(node.expr, Repeat):
+        if node.expr.lo == 1:
+            return Plus(node.expr.expr)
+
+    if isinstance(node, BranchRight):
+        branch = node.branch
+        # R3: phi1[phi2/phi3] -> phi1[phi2[phi3]]
+        if isinstance(branch, Concat):
+            return BranchRight(
+                node.main, BranchRight(branch.left, branch.right)
+            )
+        # R2: psi[phi+] -> psi[phi]
+        if isinstance(branch, Plus):
+            return BranchRight(node.main, branch.expr)
+        # Bounded repetition starting at 1 is likewise an existence test.
+        if isinstance(branch, Repeat) and branch.lo == 1:
+            return BranchRight(node.main, branch.expr)
+        # (x/y)[z] -> x/(y[z]): the branch test only concerns the pair's
+        # target, so it commutes with the leading step. Together with R3
+        # this yields the fully nested forms of the paper's Fig. 7.
+        if isinstance(node.main, Concat):
+            return Concat(
+                node.main.left, BranchRight(node.main.right, branch)
+            )
+
+    if isinstance(node, BranchLeft):
+        branch = node.branch
+        # R5: [phi2/phi3]phi1 -> [phi2[phi3]]phi1
+        if isinstance(branch, Concat):
+            return BranchLeft(
+                BranchRight(branch.left, branch.right), node.main
+            )
+        # R4: [phi+]psi -> [phi]psi
+        if isinstance(branch, Plus):
+            return BranchLeft(branch.expr, node.main)
+        if isinstance(branch, Repeat) and branch.lo == 1:
+            return BranchLeft(branch.expr, node.main)
+        # [z](x/y) -> ([z]x)/y: mirror of the rule above for left branches.
+        if isinstance(node.main, Concat):
+            return Concat(
+                BranchLeft(branch, node.main.left), node.main.right
+            )
+
+    return node
+
+
+def simplify(expr: PathExpr, max_rounds: int = 64) -> PathExpr:
+    """Apply R1–R5 bottom-up until a fixpoint is reached."""
+    current = expr
+    for _ in range(max_rounds):
+        rewritten = transform_bottom_up(current, _simplify_once)
+        if rewritten == current:
+            return current
+        current = rewritten
+    return current  # pragma: no cover - fixpoint always reached quickly
+
+
+def simplification_trace(expr: PathExpr, max_rounds: int = 64) -> list[PathExpr]:
+    """Like :func:`simplify` but recording each intermediate expression."""
+    trace = [expr]
+    current = expr
+    for _ in range(max_rounds):
+        rewritten = transform_bottom_up(current, _simplify_once)
+        if rewritten == current:
+            break
+        trace.append(rewritten)
+        current = rewritten
+    return trace

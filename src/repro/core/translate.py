@@ -1,0 +1,169 @@
+"""Translating merged triples into CQT queries — paper Fig. 9 and Def. 10-11.
+
+``Q(α, β, ψ)`` decomposes an annotated path expression into relations,
+label atoms and fresh existential variables. Following the paper's
+Example 13, we split concatenation spines *only at annotated junctions*, so
+unannotated runs stay together as single relations (e.g. ``lvIn/isL``
+remains one path expression rather than two single-edge relations).
+
+The annotated expressions reaching this module satisfy the §3.2.3
+invariants: no annotation under a transitive closure, no union outside
+closures, reverse only on labels. Violations raise
+:class:`~repro.errors.TranslationError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.algebra.ast import (
+    AnnotatedConcat,
+    BranchLeft,
+    BranchRight,
+    Concat,
+    Conj,
+    PathExpr,
+    Union,
+    concat_all,
+)
+from repro.core.merge import MergedTriple
+from repro.errors import TranslationError
+from repro.query.model import CQT, UCQT, LabelAtom, Relation
+
+
+@dataclass
+class QueryFragment:
+    """The ``(B, A, Rel)`` triple returned by ``Q`` (Fig. 9)."""
+
+    body_vars: list[str] = field(default_factory=list)
+    atoms: list[LabelAtom] = field(default_factory=list)
+    relations: list[Relation] = field(default_factory=list)
+
+
+def _flatten_spine(
+    expr: PathExpr,
+) -> tuple[list[PathExpr], list[frozenset[str] | None]]:
+    """Flatten nested (annotated) concatenations into a part list and the
+    junction annotations between consecutive parts (None = unannotated)."""
+    if isinstance(expr, (Concat, AnnotatedConcat)):
+        left_parts, left_junctions = _flatten_spine(expr.left)
+        right_parts, right_junctions = _flatten_spine(expr.right)
+        junction = expr.labels if isinstance(expr, AnnotatedConcat) else None
+        return (
+            left_parts + right_parts,
+            left_junctions + [junction] + right_junctions,
+        )
+    return [expr], []
+
+
+def q_translate(
+    alpha: str,
+    beta: str,
+    psi: PathExpr,
+    fresh: Callable[[], str],
+    fragment: QueryFragment | None = None,
+) -> QueryFragment:
+    """``Q(α, β, ψ)`` (Fig. 9): decompose ``psi`` into a query fragment."""
+    out = fragment if fragment is not None else QueryFragment()
+
+    if not psi.is_annotated():
+        out.relations.append(Relation(alpha, psi, beta))
+        return out
+
+    if isinstance(psi, (Concat, AnnotatedConcat)):
+        parts, junctions = _flatten_spine(psi)
+        if any(j is not None for j in junctions):
+            # Split at annotated junctions only (Example 13 behaviour).
+            run: list[PathExpr] = [parts[0]]
+            current_var = alpha
+            for part, junction in zip(parts[1:], junctions):
+                if junction is None:
+                    run.append(part)
+                    continue
+                next_var = fresh()
+                out.body_vars.append(next_var)
+                q_translate(current_var, next_var, concat_all(run), fresh, out)
+                out.atoms.append(LabelAtom(next_var, junction))
+                current_var = next_var
+                run = [part]
+            q_translate(current_var, beta, concat_all(run), fresh, out)
+            return out
+        # Plain concatenation whose *parts* contain annotations (e.g. inside
+        # a branch): split once and recurse.
+        gamma = fresh()
+        out.body_vars.append(gamma)
+        q_translate(alpha, gamma, psi.left, fresh, out)
+        q_translate(gamma, beta, psi.right, fresh, out)
+        return out
+
+    if isinstance(psi, BranchRight):
+        gamma = fresh()
+        out.body_vars.append(gamma)
+        q_translate(alpha, beta, psi.main, fresh, out)
+        q_translate(beta, gamma, psi.branch, fresh, out)
+        return out
+
+    if isinstance(psi, BranchLeft):
+        gamma = fresh()
+        out.body_vars.append(gamma)
+        q_translate(alpha, gamma, psi.branch, fresh, out)
+        q_translate(alpha, beta, psi.main, fresh, out)
+        return out
+
+    if isinstance(psi, Conj):
+        q_translate(alpha, beta, psi.left, fresh, out)
+        q_translate(alpha, beta, psi.right, fresh, out)
+        return out
+
+    if isinstance(psi, Union):
+        raise TranslationError(
+            "annotated unions outside transitive closures violate the "
+            "§3.2.3 invariants; merging should have separated the disjuncts"
+        )
+    raise TranslationError(f"cannot translate annotated expression {psi!r}")
+
+
+def cqt_of_merged_triple(
+    triple: MergedTriple,
+    alpha: str = "x1",
+    beta: str = "x2",
+    fresh: Callable[[], str] | None = None,
+) -> CQT:
+    """``C(t)`` (Def. 10): the CQT of a merged triple."""
+    if fresh is None:
+        fresh = _make_fresh(prefix="g")
+    fragment = q_translate(alpha, beta, triple.expr, fresh)
+    atoms = list(fragment.atoms)
+    if triple.sources is not None:
+        atoms.append(LabelAtom(alpha, triple.sources))
+    if triple.targets is not None:
+        atoms.append(LabelAtom(beta, triple.targets))
+    return CQT(
+        head=(alpha, beta),
+        relations=tuple(fragment.relations),
+        atoms=tuple(atoms),
+    )
+
+
+def _make_fresh(prefix: str) -> Callable[[], str]:
+    counter = [0]
+
+    def fresh() -> str:
+        counter[0] += 1
+        return f"_{prefix}{counter[0]}"
+
+    return fresh
+
+
+def schema_enriched_query(
+    merged: Iterable[MergedTriple],
+    alpha: str = "x1",
+    beta: str = "x2",
+) -> UCQT:
+    """``RS(ϕ)`` (Def. 11): the union of the merged triples' CQTs."""
+    fresh = _make_fresh(prefix="g")
+    disjuncts = tuple(
+        cqt_of_merged_triple(triple, alpha, beta, fresh) for triple in merged
+    )
+    return UCQT(head=(alpha, beta), disjuncts=disjuncts)

@@ -1,0 +1,21 @@
+"""Synthetic, schema-conforming dataset generators.
+
+The paper evaluates on YAGO2s (26 GB) and the LDBC-SNB CSV dumps — neither
+shippable nor loadable offline. These generators produce property graphs
+with the same *schema topology* (which drives the optimisation: acyclic
+place hierarchies make closures eliminable, label self-loops keep them) and
+comparable shape (power-law acquaintance graphs, deep reply trees), at
+sizes a pure-Python engine can evaluate. See DESIGN.md §2 for the full
+substitution rationale.
+"""
+
+from repro.datasets.ldbc import LDBC_SCALE_FACTORS, generate_ldbc, ldbc_schema
+from repro.datasets.yago import generate_yago, yago_schema
+
+__all__ = [
+    "ldbc_schema",
+    "generate_ldbc",
+    "LDBC_SCALE_FACTORS",
+    "yago_schema",
+    "generate_yago",
+]

@@ -1,0 +1,127 @@
+"""Random schema + conforming-graph generation for property-based tests.
+
+Hypothesis drives :func:`random_schema` / :func:`random_graph` through a
+plain ``random.Random`` seed, which keeps the strategies simple (a single
+integer shrinks well) while exercising the full pipeline: arbitrary label
+topologies — including cycles, self-loops, parallel edges and diamonds —
+and arbitrary conforming instances.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.model import PropertyGraph
+from repro.schema.model import GraphSchema, SchemaEdge, SchemaNode
+
+
+def random_schema(
+    seed: int,
+    max_node_labels: int = 5,
+    max_edge_labels: int = 6,
+    max_schema_edges: int = 10,
+) -> GraphSchema:
+    """A random graph schema (no properties; structure is what matters)."""
+    rng = random.Random(seed)
+    node_count = rng.randint(2, max_node_labels)
+    node_labels = [f"N{i}" for i in range(node_count)]
+    edge_label_count = rng.randint(1, max_edge_labels)
+    edge_labels = [f"e{i}" for i in range(edge_label_count)]
+
+    edges: list[SchemaEdge] = []
+    edge_count = rng.randint(1, max_schema_edges)
+    for _ in range(edge_count):
+        edges.append(
+            SchemaEdge(
+                rng.choice(node_labels),
+                rng.choice(edge_labels),
+                rng.choice(node_labels),
+            )
+        )
+    # Every edge label must appear at least once so expressions over the
+    # label vocabulary are satisfiable-in-principle.
+    used = {edge.edge_label for edge in edges}
+    for label in edge_labels:
+        if label not in used:
+            edges.append(
+                SchemaEdge(
+                    rng.choice(node_labels), label, rng.choice(node_labels)
+                )
+            )
+    return GraphSchema(
+        [SchemaNode(label) for label in node_labels], edges, name=f"rand{seed}"
+    )
+
+
+def random_graph(
+    schema: GraphSchema,
+    seed: int,
+    max_nodes: int = 30,
+    max_edges: int = 80,
+) -> PropertyGraph:
+    """A random database consistent with ``schema`` (Def. 3 by construction)."""
+    rng = random.Random(seed)
+    graph = PropertyGraph(f"rand-graph{seed}")
+    labels = sorted(schema.node_labels)
+
+    node_count = rng.randint(1, max_nodes)
+    nodes_by_label: dict[str, list[int]] = {label: [] for label in labels}
+    for node_id in range(node_count):
+        label = rng.choice(labels)
+        graph.add_node(node_id, label)
+        nodes_by_label[label].append(node_id)
+
+    schema_edges = list(schema.edges())
+    edge_count = rng.randint(0, max_edges)
+    for _ in range(edge_count):
+        schema_edge = rng.choice(schema_edges)
+        sources = nodes_by_label[schema_edge.source_label]
+        targets = nodes_by_label[schema_edge.target_label]
+        if not sources or not targets:
+            continue
+        graph.add_edge(
+            rng.choice(sources), schema_edge.edge_label, rng.choice(targets)
+        )
+    return graph
+
+
+def random_path_expr(schema: GraphSchema, seed: int, max_depth: int = 4):
+    """A random plain path expression over the schema's edge labels."""
+    from repro.algebra.ast import (
+        BranchLeft,
+        BranchRight,
+        Concat,
+        Conj,
+        Edge,
+        Plus,
+        Repeat,
+        Reverse,
+        Union,
+    )
+
+    rng = random.Random(seed)
+    edge_labels = sorted(schema.edge_labels)
+
+    def build(depth: int):
+        if depth <= 1 or rng.random() < 0.35:
+            label = rng.choice(edge_labels)
+            if rng.random() < 0.25:
+                return Reverse(Edge(label))
+            return Edge(label)
+        choice = rng.randrange(7)
+        if choice == 0:
+            return Concat(build(depth - 1), build(depth - 1))
+        if choice == 1:
+            return Union(build(depth - 1), build(depth - 1))
+        if choice == 2:
+            return Conj(build(depth - 1), build(depth - 1))
+        if choice == 3:
+            return BranchRight(build(depth - 1), build(depth - 1))
+        if choice == 4:
+            return BranchLeft(build(depth - 1), build(depth - 1))
+        if choice == 5:
+            return Plus(build(depth - 1))
+        lo = rng.randint(1, 2)
+        return Repeat(build(depth - 1), lo, lo + rng.randint(0, 2))
+
+    return build(max_depth)

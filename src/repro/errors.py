@@ -1,0 +1,79 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so that
+callers can catch library failures without masking programming errors
+(``TypeError`` etc. propagate unchanged).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParseError(ReproError):
+    """A path expression or query string could not be parsed.
+
+    Attributes:
+        text: the full input string.
+        position: 0-based offset where parsing failed (``-1`` if unknown).
+    """
+
+    def __init__(self, message: str, text: str = "", position: int = -1):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if self.position >= 0 and self.text:
+            pointer = " " * self.position + "^"
+            return f"{base}\n  {self.text}\n  {pointer}"
+        return base
+
+
+class SchemaError(ReproError):
+    """A graph schema is malformed (unknown labels, duplicate keys, ...)."""
+
+
+class ConsistencyError(ReproError):
+    """A graph database violates its schema (Def. 3 of the paper)."""
+
+
+class UnknownLabelError(SchemaError):
+    """An edge or node label is not declared in the schema."""
+
+    def __init__(self, label: str, kind: str = "edge"):
+        super().__init__(f"unknown {kind} label: {label!r}")
+        self.label = label
+        self.kind = kind
+
+
+class EmptyQueryError(ReproError):
+    """Schema analysis proved the query can never return results.
+
+    The paper's inference system derives an empty set of compatible triples
+    for such expressions; we surface this as a distinct, catchable error so
+    engines can short-circuit to an empty result.
+    """
+
+
+class QueryTimeout(ReproError):
+    """A cooperative evaluation deadline expired (paper: 30-minute cap)."""
+
+    def __init__(self, budget_seconds: float):
+        super().__init__(f"query exceeded the {budget_seconds:.3g}s time budget")
+        self.budget_seconds = budget_seconds
+
+
+class TranslationError(ReproError):
+    """A query cannot be translated to the requested target language.
+
+    Raised e.g. by GP2Cypher for queries outside the UC2RPQ fragment that
+    Cypher supports (paper §4, §5.5).
+    """
+
+
+class EvaluationError(ReproError):
+    """An engine failed while evaluating a query (internal invariant broken)."""

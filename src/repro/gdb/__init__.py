@@ -1,0 +1,20 @@
+"""Graph-database execution substrate (the paper's Neo4j backend).
+
+* :mod:`repro.gdb.patterns` — UCQT2GP: queries as unions of graph patterns.
+* :mod:`repro.gdb.cypher` — GP2Cypher: Cypher text emission with the
+  UC2RPQ expressibility check of §4/§5.5.
+* :mod:`repro.gdb.engine` — a pattern-expansion executor over the property
+  graph that (like Neo4j) prunes traversals with node-label checks.
+"""
+
+from repro.gdb.cypher import cypher_expressible, to_cypher
+from repro.gdb.engine import PatternEngine
+from repro.gdb.patterns import GraphPattern, ucqt_to_patterns
+
+__all__ = [
+    "GraphPattern",
+    "ucqt_to_patterns",
+    "to_cypher",
+    "cypher_expressible",
+    "PatternEngine",
+]

@@ -1,0 +1,166 @@
+"""GP2Cypher — emit Cypher for graph patterns (paper §4, Figs. 16).
+
+Cypher (as the paper notes, §4 and §5.5) supports only a restricted
+UC2RPQ fragment: chain patterns whose relationship segments are single
+labels, label alternations, reversed labels, or variable-length closures
+of those — no branching, no conjunction, no closures of composite paths.
+``cypher_expressible`` implements that check; ``to_cypher`` emits a query
+(one ``MATCH`` per pattern edge, ``UNION`` across disjuncts).
+"""
+
+from __future__ import annotations
+
+from repro.algebra.ast import (
+    AnnotatedConcat,
+    BranchLeft,
+    BranchRight,
+    Concat,
+    Conj,
+    Edge,
+    PathExpr,
+    Plus,
+    Repeat,
+    Reverse,
+    Union,
+)
+from repro.errors import TranslationError
+from repro.gdb.patterns import GraphPattern
+from repro.query.model import UCQT
+
+
+def _segment(expr: PathExpr) -> tuple[str, bool, str] | None:
+    """Try to express ``expr`` as one Cypher relationship segment.
+
+    Returns ``(labels, reversed, quantifier)`` — e.g. ``("knows", False,
+    "*1..")`` for ``knows+`` — or None when inexpressible as one segment.
+    """
+    if isinstance(expr, Edge):
+        return expr.label, False, ""
+    if isinstance(expr, Reverse):
+        return expr.expr.label, True, ""
+    if isinstance(expr, Union):
+        left = _segment(expr.left)
+        right = _segment(expr.right)
+        if left is None or right is None:
+            return None
+        l_labels, l_rev, l_quant = left
+        r_labels, r_rev, r_quant = right
+        # Alternation only works for same-direction, unquantified labels.
+        if l_rev != r_rev or l_quant or r_quant:
+            return None
+        return f"{l_labels}|{r_labels}", l_rev, ""
+    if isinstance(expr, Plus):
+        inner = _segment(expr.expr)
+        if inner is None:
+            return None
+        labels, reversed_, quant = inner
+        if quant:
+            return None
+        return labels, reversed_, "*1.."
+    if isinstance(expr, Repeat):
+        inner = _segment(expr.expr)
+        if inner is None:
+            return None
+        labels, reversed_, quant = inner
+        if quant:
+            return None
+        return labels, reversed_, f"*{expr.lo}..{expr.hi}"
+    return None
+
+
+def _segments(expr: PathExpr) -> list[tuple[str, bool, str]] | None:
+    """Decompose a chain expression into relationship segments."""
+    if isinstance(expr, (Concat, AnnotatedConcat)):
+        if isinstance(expr, AnnotatedConcat):
+            return None  # annotations need an explicit junction variable
+        left = _segments(expr.left)
+        right = _segments(expr.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    single = _segment(expr)
+    if single is None:
+        return None
+    return [single]
+
+
+def expr_cypher_expressible(expr: PathExpr) -> bool:
+    """True if a single pattern edge's expression fits Cypher's fragment."""
+    if isinstance(expr, (Conj, BranchLeft, BranchRight)):
+        return False
+    if isinstance(expr, Union):
+        # Either a label alternation, or both arms are full chains — the
+        # emitter splits such unions into separate UNION queries upstream
+        # (the rewriter already lifts unions to the UCQT level).
+        return _segment(expr) is not None
+    return _segments(expr) is not None
+
+
+def cypher_expressible(query: UCQT) -> bool:
+    """Paper §5.5: is the whole query inside Cypher's UC2RPQ fragment?"""
+    return all(
+        expr_cypher_expressible(rel.expr)
+        for cqt in query.disjuncts
+        for rel in cqt.relations
+    )
+
+
+def _node(var: str, labels: frozenset[str] | None, seen: set[str]) -> str:
+    """Render a node pattern, attaching labels on first occurrence."""
+    if var in seen or labels is None:
+        return f"({var})"
+    seen.add(var)
+    label_sql = "|".join(sorted(labels))
+    return f"({var}:{label_sql})"
+
+
+def pattern_to_cypher(pattern: GraphPattern) -> str:
+    """One MATCH/RETURN block for a single graph pattern.
+
+    Consecutive pattern edges that chain through a shared variable are
+    merged into one linear MATCH path, yielding the paper's Fig. 16 style
+    ``(SRC)-[:knows]->()-[:workAt]->(m:Organisation)-[:isLocatedIn]->(TRG)``.
+    """
+    seen: set[str] = set()
+    match_parts: list[str] = []
+    chain = ""
+    chain_tail: str | None = None
+    for edge in pattern.edges:
+        segments = _segments(edge.expr)
+        if segments is None:
+            raise TranslationError(
+                f"path expression {edge.expr} is outside Cypher's UC2RPQ "
+                "fragment (paper §4)"
+            )
+        if chain_tail != edge.source:
+            if chain:
+                match_parts.append(chain)
+            chain = _node(edge.source, pattern.labels_for(edge.source), seen)
+        for index, (labels, reversed_, quant) in enumerate(segments):
+            last = index == len(segments) - 1
+            target = (
+                _node(edge.target, pattern.labels_for(edge.target), seen)
+                if last
+                else "()"
+            )
+            rel = f"[:{labels}{quant}]"
+            if reversed_:
+                chain += f"<-{rel}-{target}"
+            else:
+                chain += f"-{rel}->{target}"
+        chain_tail = edge.target
+    if chain:
+        match_parts.append(chain)
+    match_sql = "MATCH " + ", ".join(match_parts)
+    return_sql = "RETURN DISTINCT " + ", ".join(pattern.head)
+    return f"{match_sql}\n{return_sql}"
+
+
+def to_cypher(query: UCQT) -> str:
+    """GP2Cypher for a whole UCQT (UNION across disjuncts)."""
+    from repro.gdb.patterns import ucqt_to_patterns
+
+    if query.is_empty:
+        raise TranslationError("cannot emit Cypher for a provably empty query")
+    blocks = [pattern_to_cypher(p) for p in ucqt_to_patterns(query)]
+    return "\nUNION\n".join(blocks) + ";"

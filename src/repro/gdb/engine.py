@@ -1,0 +1,334 @@
+"""Pattern-expansion execution over a property graph (the Neo4j stand-in).
+
+Unlike the reference CQT evaluator (which materialises every relation's
+full pair set before joining), this engine *binds and expands*: it picks a
+start variable, enumerates its candidates, and grows bindings by expanding
+each pattern edge from its bound endpoint, checking node-label constraints
+as soon as a variable is bound. Transitive closures are evaluated lazily by
+BFS *from the bound nodes only*. This is the evaluation profile in which
+schema-enrichment pays exactly as it does on Neo4j: extra node labels in
+the pattern prune the expansion frontier (paper §5.5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.algebra.ast import (
+    AnnotatedConcat,
+    BranchLeft,
+    BranchRight,
+    Concat,
+    Conj,
+    Edge,
+    PathExpr,
+    Plus,
+    Repeat,
+    Reverse,
+    Union,
+)
+from repro.errors import EvaluationError
+from repro.gdb.patterns import GraphPattern, PatternEdge, ucqt_to_patterns
+from repro.graph.evaluator import EvalBudget
+from repro.graph.model import PropertyGraph
+from repro.query.model import UCQT
+
+
+class PatternEngine:
+    """Executes graph patterns over a property graph."""
+
+    def __init__(self, graph: PropertyGraph):
+        self.graph = graph
+
+    # -- public API -------------------------------------------------------
+    def evaluate_ucqt(
+        self, query: UCQT, budget: EvalBudget | None = None
+    ) -> frozenset[tuple[int, ...]]:
+        budget = budget or EvalBudget(None)
+        result: set[tuple[int, ...]] = set()
+        for pattern in ucqt_to_patterns(query):
+            result |= self.evaluate_pattern(pattern, budget)
+        return frozenset(result)
+
+    def evaluate_pattern(
+        self, pattern: GraphPattern, budget: EvalBudget | None = None
+    ) -> frozenset[tuple[int, ...]]:
+        budget = budget or EvalBudget(None)
+        cache: dict[tuple[int, PathExpr, int], frozenset[int]] = {}
+
+        order = self._edge_order(pattern)
+        bindings: list[dict[str, int]] = [{}]
+        for edge in order:
+            budget.check_now()
+            bindings = self._apply_edge(pattern, edge, bindings, budget, cache)
+            if not bindings:
+                return frozenset()
+        return frozenset(
+            tuple(binding[var] for var in pattern.head) for binding in bindings
+        )
+
+    # -- planning ---------------------------------------------------------
+    def _edge_order(self, pattern: GraphPattern) -> list[PatternEdge]:
+        """Greedy order: constrained endpoints first, then connectivity."""
+        remaining = list(pattern.edges)
+        if not remaining:
+            raise EvaluationError("empty graph pattern")
+
+        def start_score(edge: PatternEdge) -> tuple[int, int]:
+            constrained = sum(
+                1
+                for var in (edge.source, edge.target)
+                if pattern.labels_for(var) is not None
+            )
+            candidates = len(self._candidates(pattern, edge.source))
+            return (-constrained, candidates)
+
+        remaining.sort(key=start_score)
+        order = [remaining.pop(0)]
+        bound = {order[0].source, order[0].target}
+        while remaining:
+            connected = [
+                e for e in remaining if e.source in bound or e.target in bound
+            ]
+            pick = connected[0] if connected else remaining[0]
+            remaining.remove(pick)
+            order.append(pick)
+            bound.update((pick.source, pick.target))
+        return order
+
+    def _candidates(self, pattern: GraphPattern, var: str) -> frozenset[int]:
+        labels = pattern.labels_for(var)
+        if labels is not None:
+            return self.graph.nodes_with_labels(labels)
+        return frozenset(self.graph.node_ids())
+
+    # -- expansion ----------------------------------------------------------
+    def _apply_edge(
+        self,
+        pattern: GraphPattern,
+        edge: PatternEdge,
+        bindings: list[dict[str, int]],
+        budget: EvalBudget,
+        cache: dict,
+    ) -> list[dict[str, int]]:
+        source_labels = pattern.labels_for(edge.source)
+        target_labels = pattern.labels_for(edge.target)
+        target_filter = (
+            self.graph.nodes_with_labels(target_labels)
+            if target_labels is not None
+            else None
+        )
+        source_filter = (
+            self.graph.nodes_with_labels(source_labels)
+            if source_labels is not None
+            else None
+        )
+
+        new_bindings: list[dict[str, int]] = []
+        for binding in bindings:
+            budget.tick()
+            src = binding.get(edge.source)
+            dst = binding.get(edge.target)
+            if src is not None and source_filter is not None and src not in source_filter:
+                continue
+            if dst is not None and target_filter is not None and dst not in target_filter:
+                continue
+            if src is not None:
+                targets = self._expand(edge.expr, src, forward=True, budget=budget, cache=cache)
+                if dst is not None:
+                    if dst in targets:
+                        new_bindings.append(binding)
+                    continue
+                for node in targets:
+                    if target_filter is not None and node not in target_filter:
+                        continue
+                    extended = dict(binding)
+                    extended[edge.target] = node
+                    new_bindings.append(extended)
+                continue
+            if dst is not None:
+                sources = self._expand(edge.expr, dst, forward=False, budget=budget, cache=cache)
+                for node in sources:
+                    if source_filter is not None and node not in source_filter:
+                        continue
+                    extended = dict(binding)
+                    extended[edge.source] = node
+                    new_bindings.append(extended)
+                continue
+            # Neither endpoint bound: enumerate candidate sources.
+            for candidate in self._start_candidates(edge.expr, source_filter):
+                budget.tick()
+                targets = self._expand(edge.expr, candidate, forward=True, budget=budget, cache=cache)
+                if not targets:
+                    continue
+                for node in targets:
+                    if target_filter is not None and node not in target_filter:
+                        continue
+                    extended = dict(binding)
+                    extended[edge.source] = candidate
+                    if edge.source == edge.target:
+                        if node == candidate:
+                            new_bindings.append(extended)
+                        continue
+                    extended[edge.target] = node
+                    new_bindings.append(extended)
+        return new_bindings
+
+    def _start_candidates(
+        self, expr: PathExpr, source_filter: frozenset[int] | None
+    ) -> Iterable[int]:
+        seeds = self._seed_nodes(expr)
+        if source_filter is None:
+            return seeds
+        return [n for n in seeds if n in source_filter]
+
+    def _seed_nodes(self, expr: PathExpr) -> frozenset[int]:
+        """Nodes that could possibly start an ``expr`` path (first step)."""
+        graph = self.graph
+        if isinstance(expr, Edge):
+            return frozenset(graph.sources_of(expr.label))
+        if isinstance(expr, Reverse):
+            return frozenset(graph.targets_of(expr.expr.label))
+        if isinstance(expr, (Concat, AnnotatedConcat)):
+            return self._seed_nodes(expr.left)
+        if isinstance(expr, Union):
+            return self._seed_nodes(expr.left) | self._seed_nodes(expr.right)
+        if isinstance(expr, Conj):
+            return self._seed_nodes(expr.left) & self._seed_nodes(expr.right)
+        if isinstance(expr, BranchRight):
+            return self._seed_nodes(expr.main)
+        if isinstance(expr, BranchLeft):
+            return self._seed_nodes(expr.main) & self._seed_nodes(expr.branch)
+        if isinstance(expr, (Plus, Repeat)):
+            return self._seed_nodes(expr.expr)
+        raise EvaluationError(f"unknown path expression node: {expr!r}")
+
+    def _expand(
+        self,
+        expr: PathExpr,
+        node: int,
+        forward: bool,
+        budget: EvalBudget,
+        cache: dict,
+    ) -> frozenset[int]:
+        key = (node, expr, forward)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._expand_uncached(expr, node, forward, budget, cache)
+        cache[key] = result
+        return result
+
+    def _expand_uncached(
+        self,
+        expr: PathExpr,
+        node: int,
+        forward: bool,
+        budget: EvalBudget,
+        cache: dict,
+    ) -> frozenset[int]:
+        graph = self.graph
+        budget.tick()
+        if isinstance(expr, Edge):
+            neighbours = (
+                graph.successors(node, expr.label)
+                if forward
+                else graph.predecessors(node, expr.label)
+            )
+            return frozenset(neighbours)
+        if isinstance(expr, Reverse):
+            neighbours = (
+                graph.predecessors(node, expr.expr.label)
+                if forward
+                else graph.successors(node, expr.expr.label)
+            )
+            return frozenset(neighbours)
+        if isinstance(expr, (Concat, AnnotatedConcat)):
+            first, second = (
+                (expr.left, expr.right) if forward else (expr.right, expr.left)
+            )
+            middles = self._expand(first, node, forward, budget, cache)
+            if isinstance(expr, AnnotatedConcat):
+                allowed = graph.nodes_with_labels(expr.labels)
+                middles = middles & allowed
+            result: set[int] = set()
+            for middle in middles:
+                result |= self._expand(second, middle, forward, budget, cache)
+            return frozenset(result)
+        if isinstance(expr, Union):
+            return self._expand(expr.left, node, forward, budget, cache) | (
+                self._expand(expr.right, node, forward, budget, cache)
+            )
+        if isinstance(expr, Conj):
+            return self._expand(expr.left, node, forward, budget, cache) & (
+                self._expand(expr.right, node, forward, budget, cache)
+            )
+        if isinstance(expr, BranchRight):
+            main = self._expand(expr.main, node, forward, budget, cache)
+            if forward:
+                return frozenset(
+                    m
+                    for m in main
+                    if self._expand(expr.branch, m, True, budget, cache)
+                )
+            # Backwards through phi1[phi2]: node is the pair's target, so the
+            # branch test applies to the *start* node of the backward walk.
+            if not self._expand(expr.branch, node, True, budget, cache):
+                return frozenset()
+            return main
+        if isinstance(expr, BranchLeft):
+            if forward:
+                if not self._expand(expr.branch, node, True, budget, cache):
+                    return frozenset()
+                return self._expand(expr.main, node, True, budget, cache)
+            main = self._expand(expr.main, node, False, budget, cache)
+            return frozenset(
+                m
+                for m in main
+                if self._expand(expr.branch, m, True, budget, cache)
+            )
+        if isinstance(expr, Plus):
+            return self._closure(expr.expr, node, forward, budget, cache)
+        if isinstance(expr, Repeat):
+            frontier = frozenset({node})
+            for _ in range(expr.lo):
+                frontier = self._step_all(expr.expr, frontier, forward, budget, cache)
+            result = set(frontier)
+            for _ in range(expr.lo, expr.hi):
+                frontier = self._step_all(expr.expr, frontier, forward, budget, cache)
+                result |= frontier
+            return frozenset(result)
+        raise EvaluationError(f"unknown path expression node: {expr!r}")
+
+    def _step_all(
+        self,
+        expr: PathExpr,
+        nodes: Iterable[int],
+        forward: bool,
+        budget: EvalBudget,
+        cache: dict,
+    ) -> frozenset[int]:
+        result: set[int] = set()
+        for node in nodes:
+            result |= self._expand(expr, node, forward, budget, cache)
+        return frozenset(result)
+
+    def _closure(
+        self,
+        expr: PathExpr,
+        node: int,
+        forward: bool,
+        budget: EvalBudget,
+        cache: dict,
+    ) -> frozenset[int]:
+        """Lazy BFS transitive closure from a single node."""
+        reached: set[int] = set()
+        frontier = self._expand(expr, node, forward, budget, cache)
+        while frontier:
+            budget.tick(len(frontier))
+            reached |= frontier
+            next_frontier: set[int] = set()
+            for current in frontier:
+                next_frontier |= self._expand(expr, current, forward, budget, cache)
+            frontier = frozenset(next_frontier - reached)
+        return frozenset(reached)

@@ -1,0 +1,62 @@
+"""UCQT2GP — graph patterns for the graph-database backend (paper §4).
+
+A graph pattern is the GDBMS-facing form of a CQT: pattern edges between
+variables (each carrying a path expression) plus node-label constraints.
+``ucqt_to_patterns`` is essentially the identity on our CQT model — the
+point of the type is to give the Cypher emitter and the pattern engine a
+stable, minimal interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.ast import PathExpr
+from repro.query.model import CQT, UCQT
+
+
+@dataclass(frozen=True)
+class PatternEdge:
+    """One pattern edge: ``(source)-[expr]->(target)``."""
+
+    source: str
+    expr: PathExpr
+    target: str
+
+
+@dataclass(frozen=True)
+class GraphPattern:
+    """A conjunctive graph pattern with node-label constraints."""
+
+    head: tuple[str, ...]
+    edges: tuple[PatternEdge, ...]
+    node_labels: tuple[tuple[str, frozenset[str]], ...]
+
+    def labels_for(self, var: str) -> frozenset[str] | None:
+        constraint: frozenset[str] | None = None
+        for name, labels in self.node_labels:
+            if name == var:
+                constraint = labels if constraint is None else constraint & labels
+        return constraint
+
+    def variables(self) -> frozenset[str]:
+        return frozenset(
+            v for edge in self.edges for v in (edge.source, edge.target)
+        )
+
+
+def cqt_to_pattern(cqt: CQT) -> GraphPattern:
+    """Convert one CQT into a graph pattern."""
+    return GraphPattern(
+        head=cqt.head,
+        edges=tuple(
+            PatternEdge(rel.source, rel.expr, rel.target)
+            for rel in cqt.relations
+        ),
+        node_labels=tuple((atom.var, atom.labels) for atom in cqt.atoms),
+    )
+
+
+def ucqt_to_patterns(query: UCQT) -> list[GraphPattern]:
+    """UCQT2GP: one pattern per disjunct (a union of graph patterns)."""
+    return [cqt_to_pattern(cqt) for cqt in query.disjuncts]

@@ -1,0 +1,6 @@
+"""Property graph database (paper §2.2, Def. 2) and Tarski evaluation (Fig. 5)."""
+
+from repro.graph.evaluator import EvalBudget, evaluate_path
+from repro.graph.model import PropertyGraph
+
+__all__ = ["PropertyGraph", "evaluate_path", "EvalBudget"]

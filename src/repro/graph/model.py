@@ -1,0 +1,185 @@
+"""In-memory property graph (paper Def. 2) with label and adjacency indexes.
+
+Nodes are integer ids with exactly one label and an optional property map;
+edges are (source, target) pairs with exactly one label (paper §2.3
+restrictions). The store maintains the indexes every engine in this
+repository relies on:
+
+* ``nodes_with_label(l)`` — label index,
+* ``out_edges(le)`` / ``in_edges(le)`` — full edge-label relations,
+* ``successors(n, le)`` / ``predecessors(n, le)`` — adjacency lists.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import EvaluationError
+
+NodeId = int
+EdgePair = tuple[int, int]
+
+
+class PropertyGraph:
+    """A labelled directed multigraph with node properties."""
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self._labels: dict[NodeId, str] = {}
+        self._props: dict[NodeId, dict[str, object]] = {}
+        self._label_index: dict[str, set[NodeId]] = {}
+        # edge label -> set of (src, dst)
+        self._edges: dict[str, set[EdgePair]] = {}
+        # adjacency: edge label -> src -> list of dst (and reversed)
+        self._out: dict[str, dict[NodeId, list[NodeId]]] = {}
+        self._in: dict[str, dict[NodeId, list[NodeId]]] = {}
+        self._edge_count = 0
+
+    # -- construction ------------------------------------------------------
+    def add_node(
+        self,
+        node_id: NodeId,
+        label: str,
+        properties: Mapping[str, object] | None = None,
+    ) -> NodeId:
+        """Add a node; re-adding an id with a different label is an error."""
+        existing = self._labels.get(node_id)
+        if existing is not None:
+            if existing != label:
+                raise EvaluationError(
+                    f"node {node_id} already has label {existing!r}; "
+                    f"cannot relabel to {label!r}"
+                )
+            if properties:
+                self._props.setdefault(node_id, {}).update(properties)
+            return node_id
+        self._labels[node_id] = label
+        if properties:
+            self._props[node_id] = dict(properties)
+        self._label_index.setdefault(label, set()).add(node_id)
+        return node_id
+
+    def add_edge(self, source: NodeId, label: str, target: NodeId) -> None:
+        """Add a directed labelled edge; endpoints must already exist."""
+        if source not in self._labels:
+            raise EvaluationError(f"edge source node {source} does not exist")
+        if target not in self._labels:
+            raise EvaluationError(f"edge target node {target} does not exist")
+        pairs = self._edges.setdefault(label, set())
+        pair = (source, target)
+        if pair in pairs:
+            return
+        pairs.add(pair)
+        self._out.setdefault(label, {}).setdefault(source, []).append(target)
+        self._in.setdefault(label, {}).setdefault(target, []).append(source)
+        self._edge_count += 1
+
+    # -- node accessors ------------------------------------------------------
+    def node_ids(self) -> Iterator[NodeId]:
+        return iter(self._labels)
+
+    def node_label(self, node_id: NodeId) -> str:
+        try:
+            return self._labels[node_id]
+        except KeyError:
+            raise EvaluationError(f"unknown node id {node_id}") from None
+
+    def has_node(self, node_id: NodeId) -> bool:
+        return node_id in self._labels
+
+    def node_properties(self, node_id: NodeId) -> Mapping[str, object]:
+        return self._props.get(node_id, {})
+
+    def nodes_with_label(self, label: str) -> frozenset[NodeId]:
+        return frozenset(self._label_index.get(label, ()))
+
+    def nodes_with_labels(self, labels: Iterable[str]) -> frozenset[NodeId]:
+        result: set[NodeId] = set()
+        for label in labels:
+            result.update(self._label_index.get(label, ()))
+        return frozenset(result)
+
+    @property
+    def node_labels(self) -> frozenset[str]:
+        return frozenset(self._label_index)
+
+    # -- edge accessors ------------------------------------------------------
+    @property
+    def edge_labels(self) -> frozenset[str]:
+        return frozenset(self._edges)
+
+    def edge_pairs(self, label: str) -> frozenset[EdgePair]:
+        """All ``(source, target)`` pairs carrying ``label``."""
+        return frozenset(self._edges.get(label, ()))
+
+    def has_edge(self, source: NodeId, label: str, target: NodeId) -> bool:
+        return (source, target) in self._edges.get(label, ())
+
+    def successors(self, node_id: NodeId, label: str) -> list[NodeId]:
+        return self._out.get(label, {}).get(node_id, [])
+
+    def predecessors(self, node_id: NodeId, label: str) -> list[NodeId]:
+        return self._in.get(label, {}).get(node_id, [])
+
+    def out_degree(self, node_id: NodeId, label: str) -> int:
+        return len(self.successors(node_id, label))
+
+    def sources_of(self, label: str) -> Iterator[NodeId]:
+        """Nodes with at least one outgoing ``label`` edge."""
+        return iter(self._out.get(label, ()))
+
+    def targets_of(self, label: str) -> Iterator[NodeId]:
+        """Nodes with at least one incoming ``label`` edge."""
+        return iter(self._in.get(label, ()))
+
+    # -- statistics ------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        return len(self._labels)
+
+    @property
+    def edge_count(self) -> int:
+        return self._edge_count
+
+    def label_counts(self) -> dict[str, int]:
+        return {label: len(ids) for label, ids in self._label_index.items()}
+
+    def edge_label_counts(self) -> dict[str, int]:
+        return {label: len(pairs) for label, pairs in self._edges.items()}
+
+    def stats(self) -> dict[str, int]:
+        """Sizes used by Table 3."""
+        return {
+            "nodes": self.node_count,
+            "edges": self.edge_count,
+            "node_labels": len(self._label_index),
+            "edge_labels": len(self._edges),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PropertyGraph({self.name!r}, {self.node_count} nodes, "
+            f"{self.edge_count} edges)"
+        )
+
+
+def yago_example_graph() -> PropertyGraph:
+    """The running-example database of the paper's Fig. 2."""
+    graph = PropertyGraph("yago-fig2")
+    graph.add_node(1, "PROPERTY", {"address": "7 Queen Street"})
+    graph.add_node(2, "PERSON", {"name": "John", "age": 28})
+    graph.add_node(3, "PERSON", {"name": "Shradha", "age": 25})
+    graph.add_node(4, "CITY", {"name": "Elerslie"})
+    graph.add_node(5, "REGION", {"name": "Grenoble"})
+    graph.add_node(6, "CITY", {"name": "Montbonnot"})
+    graph.add_node(7, "COUNTRY", {"name": "France"})
+    graph.add_edge(2, "isMarriedTo", 3)
+    graph.add_edge(3, "isMarriedTo", 2)
+    graph.add_edge(2, "livesIn", 4)
+    graph.add_edge(3, "livesIn", 6)
+    graph.add_edge(2, "owns", 1)
+    graph.add_edge(1, "isLocatedIn", 6)
+    graph.add_edge(6, "isLocatedIn", 5)
+    graph.add_edge(4, "isLocatedIn", 5)
+    graph.add_edge(5, "isLocatedIn", 7)
+    return graph

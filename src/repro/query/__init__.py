@@ -1,0 +1,15 @@
+"""CQT / UCQT query formalism (paper §2.4, Def. 4)."""
+
+from repro.query.evaluation import evaluate_cqt, evaluate_ucqt
+from repro.query.model import CQT, UCQT, LabelAtom, Relation
+from repro.query.parser import parse_query
+
+__all__ = [
+    "CQT",
+    "UCQT",
+    "LabelAtom",
+    "Relation",
+    "parse_query",
+    "evaluate_cqt",
+    "evaluate_ucqt",
+]

@@ -1,0 +1,110 @@
+"""Aggregation over UCQT results — the paper's §7 perspective.
+
+The paper closes with: *"A perspective for further work is to extend the
+approach by considering queries with aggregations."* This module provides
+that extension for the aggregate forms that commute with the rewriting:
+
+* ``count(query)`` / ``count distinct`` over head tuples,
+* ``group_count(query, var)`` — result counts grouped by one head variable,
+* ``exists(query)``,
+* ``degree_histogram(query, var)`` — distribution of group sizes.
+
+Because the schema-enriched query is *set-equivalent* to the original
+(Theorem 1) and these aggregates are functions of the result **set**,
+every aggregate value is preserved by the rewriting — which
+``tests/test_aggregates.py`` asserts both on examples and property-style.
+Aggregates that depend on bag semantics (e.g. ``COUNT(*)`` over join
+multiplicities) are *not* preserved by set-based rewriting and are
+deliberately not offered.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.errors import EvaluationError
+from repro.graph.evaluator import EvalBudget
+from repro.graph.model import PropertyGraph
+from repro.query.evaluation import evaluate_ucqt
+from repro.query.model import UCQT
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """An aggregate value plus the cardinality it was computed over."""
+
+    value: float
+    tuples: int
+
+
+def count(
+    graph: PropertyGraph, query: UCQT, budget: EvalBudget | None = None
+) -> int:
+    """Number of distinct head tuples (set semantics: COUNT(DISTINCT …))."""
+    return len(evaluate_ucqt(graph, query, budget))
+
+
+def exists(
+    graph: PropertyGraph, query: UCQT, budget: EvalBudget | None = None
+) -> bool:
+    """True when the query has at least one result."""
+    for cqt in query.disjuncts:
+        from repro.query.evaluation import evaluate_cqt
+
+        if evaluate_cqt(graph, cqt, budget):
+            return True
+    return False
+
+
+def _head_index(query: UCQT, var: str) -> int:
+    try:
+        return query.head.index(var)
+    except ValueError:
+        raise EvaluationError(
+            f"cannot group by {var!r}: not a head variable of {query.head}"
+        ) from None
+
+
+def group_count(
+    graph: PropertyGraph,
+    query: UCQT,
+    var: str,
+    budget: EvalBudget | None = None,
+) -> dict[int, int]:
+    """``SELECT var, COUNT(DISTINCT rest) GROUP BY var`` over the result set.
+
+    Returns node id -> number of distinct result tuples it appears in.
+    """
+    index = _head_index(query, var)
+    counts: Counter[int] = Counter()
+    for row in evaluate_ucqt(graph, query, budget):
+        counts[row[index]] += 1
+    return dict(counts)
+
+
+def degree_histogram(
+    graph: PropertyGraph,
+    query: UCQT,
+    var: str,
+    budget: EvalBudget | None = None,
+) -> dict[int, int]:
+    """Distribution of group sizes: group size -> number of groups."""
+    histogram: Counter[int] = Counter()
+    for size in group_count(graph, query, var, budget).values():
+        histogram[size] += 1
+    return dict(histogram)
+
+
+def top_k(
+    graph: PropertyGraph,
+    query: UCQT,
+    var: str,
+    k: int = 10,
+    budget: EvalBudget | None = None,
+) -> list[tuple[int, int]]:
+    """The k nodes with the most distinct result tuples (ties by node id)."""
+    if k < 1:
+        raise EvaluationError("top_k needs k >= 1")
+    groups = group_count(graph, query, var, budget)
+    return sorted(groups.items(), key=lambda item: (-item[1], item[0]))[:k]

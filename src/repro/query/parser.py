@@ -1,0 +1,122 @@
+"""Parser for the workload query syntax.
+
+Grammar (ASCII rendering of the paper's notation)::
+
+    query    := head '<-' disjunct ('||' disjunct)*
+    head     := var (',' var)*
+    disjunct := term ('&&' term)*
+    term     := '(' var ',' pathexpr ',' var ')'      -- relation
+              | LABEL '(' var ')'                     -- label atom
+              | '{' LABEL (',' LABEL)* '}' '(' var ')'
+
+Example::
+
+    x1, x2 <- (x1, knows1..2/workAt/isLocatedIn, x2) && PERSON(x1)
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.algebra.parser import parse as parse_path
+from repro.errors import ParseError
+from repro.query.model import CQT, UCQT, LabelAtom, Relation
+
+_VAR_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_ATOM_RE = re.compile(
+    r"^(?P<labels>[A-Za-z_][A-Za-z0-9_]*|\{[^}]*\})\s*\(\s*(?P<var>[A-Za-z_][A-Za-z0-9_]*)\s*\)$"
+)
+
+
+def _split_top_level(text: str, separator: str) -> list[str]:
+    """Split on ``separator`` outside any (), [], {} nesting."""
+    parts: list[str] = []
+    depth = 0
+    start = 0
+    i = 0
+    width = len(separator)
+    while i < len(text):
+        char = text[i]
+        if char in "([{":
+            depth += 1
+        elif char in ")]}":
+            depth -= 1
+            if depth < 0:
+                raise ParseError("unbalanced brackets", text, i)
+        elif depth == 0 and text.startswith(separator, i):
+            parts.append(text[start:i])
+            i += width
+            start = i
+            continue
+        i += 1
+    if depth != 0:
+        raise ParseError("unbalanced brackets", text, len(text) - 1)
+    parts.append(text[start:])
+    return parts
+
+
+def _parse_term(text: str, full: str) -> Relation | LabelAtom:
+    text = text.strip()
+    if text.startswith("("):
+        if not text.endswith(")"):
+            raise ParseError(f"malformed relation term {text!r}", full)
+        inner = text[1:-1]
+        pieces = _split_top_level(inner, ",")
+        if len(pieces) < 3:
+            raise ParseError(
+                f"a relation needs (var, pathexpr, var): {text!r}", full
+            )
+        source = pieces[0].strip()
+        target = pieces[-1].strip()
+        # The path expression may itself contain top-level commas only inside
+        # annotation braces, which _split_top_level keeps intact; anything
+        # between the first and last comma is the expression.
+        expr_text = ",".join(pieces[1:-1]).strip()
+        if not _VAR_RE.match(source):
+            raise ParseError(f"bad source variable {source!r}", full)
+        if not _VAR_RE.match(target):
+            raise ParseError(f"bad target variable {target!r}", full)
+        return Relation(source, parse_path(expr_text), target)
+
+    match = _ATOM_RE.match(text)
+    if match:
+        raw = match.group("labels")
+        if raw.startswith("{"):
+            labels = frozenset(
+                label.strip() for label in raw[1:-1].split(",") if label.strip()
+            )
+        else:
+            labels = frozenset({raw})
+        if not labels:
+            raise ParseError(f"empty label set in atom {text!r}", full)
+        return LabelAtom(match.group("var"), labels)
+
+    raise ParseError(f"cannot parse query term {text!r}", full)
+
+
+def parse_query(text: str) -> UCQT:
+    """Parse workload syntax into a :class:`~repro.query.model.UCQT`."""
+    if "<-" not in text:
+        raise ParseError("query must contain '<-'", text)
+    head_text, _, body_text = text.partition("<-")
+    head = tuple(var.strip() for var in head_text.split(",") if var.strip())
+    if not head:
+        raise ParseError("query has no head variables", text)
+    for var in head:
+        if not _VAR_RE.match(var):
+            raise ParseError(f"bad head variable {var!r}", text)
+
+    disjuncts: list[CQT] = []
+    for disjunct_text in _split_top_level(body_text, "||"):
+        relations: list[Relation] = []
+        atoms: list[LabelAtom] = []
+        for term_text in _split_top_level(disjunct_text, "&&"):
+            term = _parse_term(term_text, text)
+            if isinstance(term, Relation):
+                relations.append(term)
+            else:
+                atoms.append(term)
+        if not relations:
+            raise ParseError("each disjunct needs at least one relation", text)
+        disjuncts.append(CQT(head, tuple(relations), tuple(atoms)))
+    return UCQT(head, tuple(disjuncts))

@@ -1,0 +1,30 @@
+"""Recursive relational algebra (µ-RA style) — the paper's RRA substrate.
+
+The translator (:mod:`repro.ra.translate`) compiles UCQT queries into RA
+terms including the paper's Table 2 rules for conjunction and branching;
+the evaluator (:mod:`repro.ra.evaluate`) runs them with semi-naive fixpoint
+iteration; the optimizer (:mod:`repro.ra.optimizer`) applies µ-RA-flavoured
+rewritings; and :mod:`repro.ra.plan` provides the cost-based EXPLAIN used
+to reproduce Fig. 17.
+"""
+
+from repro.ra.evaluate import evaluate_term
+from repro.ra.optimizer import optimize_term
+from repro.ra.terms import Fix, Join, Project, RaTerm, Rel, Rename, RaUnion, Var
+from repro.ra.translate import cqt_to_ra, path_to_ra, ucqt_to_ra
+
+__all__ = [
+    "RaTerm",
+    "Rel",
+    "Var",
+    "Project",
+    "Rename",
+    "Join",
+    "RaUnion",
+    "Fix",
+    "path_to_ra",
+    "cqt_to_ra",
+    "ucqt_to_ra",
+    "evaluate_term",
+    "optimize_term",
+]

@@ -1,0 +1,212 @@
+"""Rule-based RA optimisation (µ-RA flavoured).
+
+Local rewrites applied to a fixpoint:
+
+* collapse ``Rename ∘ Rename`` and drop identity renames,
+* collapse ``Project ∘ Project`` and fold ``Project ∘ Rel`` into the scan,
+* push ``Project`` through ``Rename``,
+* replace self-joins of identical terms (``ϕ ∩ ϕ``) by the term,
+* collapse unions with identical arms,
+* reorder flattened join chains greedily by estimated cardinality (joins
+  sharing columns with the accumulated prefix first — avoids accidental
+  cartesian products).
+
+Join pushing *into fixpoints* happens at translation time
+(:func:`repro.ra.translate.cqt_to_ra`) where label-atom information is
+still available; this module keeps plans tidy and join orders sane.
+"""
+
+from __future__ import annotations
+
+from repro.ra.stats import Estimator
+from repro.ra.terms import (
+    Fix,
+    Join,
+    Project,
+    RaTerm,
+    RaUnion,
+    Rel,
+    Rename,
+    SelectEq,
+    Var,
+)
+from repro.storage.relational import RelationalStore
+
+
+def optimize_term(term: RaTerm, store: RelationalStore) -> RaTerm:
+    """Apply local rewrites bottom-up, then reorder join chains.
+
+    The optimised term exposes the same columns in the same order as the
+    input term (rewrites may shuffle column positions internally; a final
+    projection restores the contract when needed).
+    """
+    estimator = Estimator(store)
+    rewritten = _rewrite_memo(term, store, {})
+    memo: dict[int, tuple[RaTerm, RaTerm]] = {}
+    result = _reorder_memo(rewritten, store, estimator, memo)
+    original_columns = term.columns(store)
+    if result.columns(store) != original_columns:
+        result = Project(result, original_columns)
+    return result
+
+
+def _rewrite_memo(
+    term: RaTerm,
+    store: RelationalStore,
+    memo: dict[int, tuple[RaTerm, RaTerm]],
+) -> RaTerm:
+    """Identity-memoised rewriting: shared sub-term objects stay shared, so
+    the evaluator's sub-term cache keeps working after optimisation.
+
+    The memo stores ``id -> (key term, result)`` and keeps the key object
+    referenced: without that, a temporary term could be garbage-collected
+    and its id reused by a different node, producing stale hits.
+    """
+    hit = memo.get(id(term))
+    if hit is not None and hit[0] is term:
+        return hit[1]
+    result = _rewrite(term, store, memo)
+    memo[id(term)] = (term, result)
+    return result
+
+
+def _reorder_memo(
+    term: RaTerm,
+    store: RelationalStore,
+    estimator: Estimator,
+    memo: dict[int, tuple[RaTerm, RaTerm]],
+) -> RaTerm:
+    hit = memo.get(id(term))
+    if hit is not None and hit[0] is term:
+        return hit[1]
+    result = _reorder_joins(term, store, estimator, memo)
+    memo[id(term)] = (term, result)
+    return result
+
+
+def _rewrite(
+    term: RaTerm,
+    store: RelationalStore,
+    memo: dict[int, tuple[RaTerm, RaTerm]],
+) -> RaTerm:
+    # Rewrite children first.
+    if isinstance(term, Project):
+        child = _rewrite_memo(term.child, store, memo)
+        if isinstance(child, Project):
+            return _rewrite_memo(Project(child.child, term.keep), store, memo)
+        if isinstance(child, Rel):
+            return Rel(child.name, term.keep)
+        if isinstance(child, Rename):
+            # Push the projection under the rename when possible.
+            mapping = dict(child.mapping)
+            inverse = {new: old for old, new in mapping.items()}
+            pushed = tuple(inverse.get(c, c) for c in term.keep)
+            inner = _rewrite_memo(Project(child.child, pushed), store, memo)
+            keep_mapping = {
+                old: new for old, new in mapping.items() if old in pushed
+            }
+            if not keep_mapping:
+                return inner
+            return Rename.of(inner, keep_mapping)
+        if child.columns(store) == term.keep:
+            return child
+        return Project(child, term.keep)
+    if isinstance(term, Rename):
+        child = _rewrite_memo(term.child, store, memo)
+        mapping = {old: new for old, new in term.mapping if old != new}
+        if isinstance(child, Rename):
+            inner = dict(child.mapping)
+            combined: dict[str, str] = {}
+            for old, new in inner.items():
+                combined[old] = mapping.get(new, new)
+            for old, new in mapping.items():
+                if old not in inner.values():
+                    combined.setdefault(old, new)
+            combined = {old: new for old, new in combined.items() if old != new}
+            if not combined:
+                return child.child
+            return Rename.of(child.child, combined)
+        if not mapping:
+            return child
+        return Rename.of(child, mapping)
+    if isinstance(term, Join):
+        left = _rewrite_memo(term.left, store, memo)
+        right = _rewrite_memo(term.right, store, memo)
+        if left == right:
+            return left  # phi ∩ phi
+        return Join(left, right)
+    if isinstance(term, RaUnion):
+        left = _rewrite_memo(term.left, store, memo)
+        right = _rewrite_memo(term.right, store, memo)
+        if left == right:
+            return left
+        return RaUnion(left, right)
+    if isinstance(term, SelectEq):
+        return SelectEq(_rewrite_memo(term.child, store, memo), term.column_a, term.column_b)
+    if isinstance(term, Fix):
+        return Fix(term.var, _rewrite_memo(term.base, store, memo), _rewrite_memo(term.step, store, memo))
+    return term
+
+
+def _flatten_join(term: RaTerm) -> list[RaTerm]:
+    if isinstance(term, Join):
+        return _flatten_join(term.left) + _flatten_join(term.right)
+    return [term]
+
+
+def _reorder_joins(
+    term: RaTerm,
+    store: RelationalStore,
+    estimator: Estimator,
+    memo: dict[int, tuple[RaTerm, RaTerm]],
+) -> RaTerm:
+    if isinstance(term, Join):
+        parts = [_reorder_memo(p, store, estimator, memo) for p in _flatten_join(term)]
+        if len(parts) <= 2:
+            return Join(parts[0], parts[1]) if len(parts) == 2 else parts[0]
+        # Greedy left-deep join ordering by estimated *result* size: start
+        # from the smallest base, then repeatedly pick the connected part
+        # whose join with the running prefix is estimated cheapest (this is
+        # what makes semi-joins against node tables fire early — the
+        # Fig. 17 plan shape).
+        remaining = list(parts)
+        remaining.sort(key=estimator.rows)
+        current = remaining.pop(0)
+        current_columns = set(current.columns(store))
+        while remaining:
+            connected = [
+                p
+                for p in remaining
+                if current_columns & set(p.columns(store))
+            ]
+            pool = connected if connected else remaining
+            best = min(pool, key=lambda p: estimator.rows(Join(current, p)))
+            remaining.remove(best)
+            current = Join(current, best)
+            current_columns |= set(best.columns(store))
+        return current
+    children = term.children()
+    if not children:
+        return term
+    if isinstance(term, Project):
+        return Project(_reorder_memo(term.child, store, estimator, memo), term.keep)
+    if isinstance(term, Rename):
+        return Rename(_reorder_memo(term.child, store, estimator, memo), term.mapping)
+    if isinstance(term, SelectEq):
+        return SelectEq(
+            _reorder_memo(term.child, store, estimator, memo),
+            term.column_a,
+            term.column_b,
+        )
+    if isinstance(term, RaUnion):
+        return RaUnion(
+            _reorder_memo(term.left, store, estimator, memo),
+            _reorder_memo(term.right, store, estimator, memo),
+        )
+    if isinstance(term, Fix):
+        return Fix(
+            term.var,
+            _reorder_memo(term.base, store, estimator, memo),
+            _reorder_memo(term.step, store, estimator, memo),
+        )
+    return term

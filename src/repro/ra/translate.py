@@ -1,0 +1,283 @@
+"""UCQT → recursive relational algebra (paper §4, UCQT2RRA).
+
+Path expressions translate structurally; conjunction and branching follow
+the paper's Table 2 (natural-join formulation); transitive closures become
+µ fixpoints with left-linear recursion.
+
+Label atoms produced by the schema rewriter become semi-joins against node
+tables (the Fig. 15 pattern). When a label atom constrains a closure's
+source (resp. target) variable, the semi-join is *pushed into the fixpoint
+base* — with the recursion direction flipped to right-linear for target
+constraints — which is the µ-RA "join pushing" rewriting of Jachiet et al.
+that the paper's translator relies on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.algebra.ast import (
+    AnnotatedConcat,
+    BranchLeft,
+    BranchRight,
+    Concat,
+    Conj,
+    Edge,
+    PathExpr,
+    Plus,
+    Repeat,
+    Reverse,
+    Union,
+)
+from repro.errors import TranslationError
+from repro.query.model import CQT, UCQT
+from repro.ra.terms import (
+    Fix,
+    Join,
+    Project,
+    RaTerm,
+    RaUnion,
+    Rel,
+    Rename,
+    SelectEq,
+    Var,
+)
+
+SR, TR = "Sr", "Tr"
+
+
+@dataclass
+class TranslationContext:
+    """Fresh-name supply shared across one query translation.
+
+    The context also memoises path-expression translation: the same
+    sub-expression always maps to the *same term object*, so repeated
+    closures across a rewritten query's disjuncts (e.g. ``knows+`` in every
+    arm) share one fixpoint — which the evaluator and the SQL generator
+    then compute/emit exactly once.
+    """
+
+    push_filters_into_fixpoints: bool = True
+    _counter: itertools.count = field(default_factory=itertools.count)
+    _expr_cache: dict = field(default_factory=dict)
+
+    def fresh_column(self) -> str:
+        return f"m{next(self._counter)}"
+
+    def fresh_fix_var(self) -> str:
+        return f"X{next(self._counter)}"
+
+
+def node_set_term(labels: frozenset[str], column: str) -> RaTerm:
+    """Key-only scan of the union of node tables, exposed as ``column``."""
+    terms = [
+        Rename.of(Rel(label, (SR,)), {SR: column})
+        for label in sorted(labels)
+    ]
+    result = terms[0]
+    for term in terms[1:]:
+        result = RaUnion(result, term)
+    return result
+
+
+def path_to_ra(
+    expr: PathExpr, ctx: TranslationContext | None = None
+) -> RaTerm:
+    """Translate a path expression into an RA term with columns (Sr, Tr)."""
+    ctx = ctx or TranslationContext()
+    return _translate(expr, ctx)
+
+
+def _translate(expr: PathExpr, ctx: TranslationContext) -> RaTerm:
+    cached = ctx._expr_cache.get(expr)
+    if cached is not None:
+        return cached
+    term = _translate_uncached(expr, ctx)
+    ctx._expr_cache[expr] = term
+    return term
+
+
+def _translate_uncached(expr: PathExpr, ctx: TranslationContext) -> RaTerm:
+    if isinstance(expr, Edge):
+        return Rel(expr.label, (SR, TR))
+    if isinstance(expr, Reverse):
+        return Rename.of(Rel(expr.expr.label, (SR, TR)), {SR: TR, TR: SR})
+    if isinstance(expr, Concat):
+        return _concat(
+            _translate(expr.left, ctx), _translate(expr.right, ctx), ctx
+        )
+    if isinstance(expr, AnnotatedConcat):
+        middle = ctx.fresh_column()
+        left = Rename.of(_translate(expr.left, ctx), {TR: middle})
+        right = Rename.of(_translate(expr.right, ctx), {SR: middle})
+        guard = node_set_term(expr.labels, middle)
+        return Project(Join(Join(left, guard), right), (SR, TR))
+    if isinstance(expr, Union):
+        return RaUnion(_translate(expr.left, ctx), _translate(expr.right, ctx))
+    if isinstance(expr, Conj):
+        # Table 2: both sides share (Sr, Tr); natural join intersects.
+        return Join(_translate(expr.left, ctx), _translate(expr.right, ctx))
+    if isinstance(expr, BranchRight):
+        # Table 2: main ⋈ ρ(π_Sr(branch): Sr→Tr) — an existential semi-join.
+        main = _translate(expr.main, ctx)
+        branch = Rename.of(
+            Project(_translate(expr.branch, ctx), (SR,)), {SR: TR}
+        )
+        return Project(Join(main, branch), (SR, TR))
+    if isinstance(expr, BranchLeft):
+        branch = Project(_translate(expr.branch, ctx), (SR,))
+        main = _translate(expr.main, ctx)
+        return Project(Join(branch, main), (SR, TR))
+    if isinstance(expr, Plus):
+        return _closure(_translate(expr.expr, ctx), ctx, direction="left")
+    if isinstance(expr, Repeat):
+        return _translate(expr.expand(), ctx)
+    raise TranslationError(f"cannot translate path expression node {expr!r}")
+
+
+def _concat(left: RaTerm, right: RaTerm, ctx: TranslationContext) -> RaTerm:
+    middle = ctx.fresh_column()
+    return Project(
+        Join(
+            Rename.of(left, {TR: middle}),
+            Rename.of(right, {SR: middle}),
+        ),
+        (SR, TR),
+    )
+
+
+def _closure(
+    base: RaTerm,
+    ctx: TranslationContext,
+    direction: str,
+    seeded_base: RaTerm | None = None,
+) -> Fix:
+    """µ fixpoint for a transitive closure over ``base``.
+
+    ``direction='left'``: X = B ∪ π(X ⋈ B) — grows paths at the target end.
+    ``direction='right'``: X = B ∪ π(B ⋈ X) — grows paths at the source end.
+    ``seeded_base`` optionally replaces the base (filter pushed into µ).
+    """
+    var_name = ctx.fresh_fix_var()
+    middle = ctx.fresh_column()
+    recursion = Var(var_name, (SR, TR))
+    start = seeded_base if seeded_base is not None else base
+    if direction == "left":
+        step = Project(
+            Join(
+                Rename.of(recursion, {TR: middle}),
+                Rename.of(base, {SR: middle}),
+            ),
+            (SR, TR),
+        )
+    elif direction == "right":
+        step = Project(
+            Join(
+                Rename.of(base, {TR: middle}),
+                Rename.of(recursion, {SR: middle}),
+            ),
+            (SR, TR),
+        )
+    else:  # pragma: no cover - internal misuse
+        raise TranslationError(f"unknown closure direction {direction!r}")
+    return Fix(var_name, start, step)
+
+
+def _relation_term(
+    expr: PathExpr,
+    source_labels: frozenset[str] | None,
+    target_labels: frozenset[str] | None,
+    ctx: TranslationContext,
+) -> tuple[RaTerm, bool, bool]:
+    """RA term for one CQT relation, with fixpoint filter pushing.
+
+    Returns ``(term, source_handled, target_handled)`` — the flags tell the
+    caller whether the label constraints were already absorbed into the
+    term (pushed into a fixpoint) or still need an outer semi-join.
+    """
+    if not ctx.push_filters_into_fixpoints or not isinstance(expr, Plus):
+        return _translate(expr, ctx), False, False
+
+    inner = _translate(expr.expr, ctx)
+    if source_labels is not None:
+        seeded = Join(node_set_term(source_labels, SR), inner)
+        term = _closure(inner, ctx, direction="left", seeded_base=seeded)
+        return term, True, False
+    if target_labels is not None:
+        seeded = Join(inner, node_set_term(target_labels, TR))
+        term = _closure(inner, ctx, direction="right", seeded_base=seeded)
+        return term, False, True
+    return _translate(expr, ctx), False, False
+
+
+def cqt_to_ra(
+    cqt: CQT, ctx: TranslationContext | None = None
+) -> RaTerm:
+    """Translate a CQT: join all relations on shared variables, semi-join
+    label atoms against node tables, project the head."""
+    ctx = ctx or TranslationContext()
+    atom_labels = {var: cqt.labels_for(var) for var in cqt.variables()}
+    handled: set[str] = set()
+
+    term: RaTerm | None = None
+    for relation in cqt.relations:
+        source_constraint = (
+            atom_labels.get(relation.source)
+            if relation.source not in handled
+            else None
+        )
+        target_constraint = (
+            atom_labels.get(relation.target)
+            if relation.target not in handled
+            else None
+        )
+        rel_term, src_done, dst_done = _relation_term(
+            relation.expr, source_constraint, target_constraint, ctx
+        )
+        if src_done:
+            handled.add(relation.source)
+        if dst_done:
+            handled.add(relation.target)
+
+        if relation.source == relation.target:
+            temp = ctx.fresh_column()
+            rel_term = Project(
+                SelectEq(
+                    Rename.of(rel_term, {SR: relation.source, TR: temp}),
+                    relation.source,
+                    temp,
+                ),
+                (relation.source,),
+            )
+        else:
+            rel_term = Rename.of(
+                rel_term, {SR: relation.source, TR: relation.target}
+            )
+        term = rel_term if term is None else Join(term, rel_term)
+
+    if term is None:
+        raise TranslationError("CQT without relations cannot be translated")
+
+    for var, labels in sorted(atom_labels.items()):
+        if labels is None or var in handled:
+            continue
+        term = Join(term, node_set_term(labels, var))
+
+    return Project(term, tuple(cqt.head))
+
+
+def ucqt_to_ra(
+    query: UCQT, ctx: TranslationContext | None = None
+) -> RaTerm:
+    """Translate a UCQT as the union of its disjuncts' RA terms."""
+    ctx = ctx or TranslationContext()
+    if query.is_empty:
+        raise TranslationError(
+            "the schema proved this query empty; evaluate to ∅ directly"
+        )
+    terms = [cqt_to_ra(cqt, ctx) for cqt in query.disjuncts]
+    result = terms[0]
+    for term in terms[1:]:
+        result = RaUnion(result, term)
+    return result

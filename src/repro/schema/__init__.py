@@ -1,0 +1,18 @@
+"""Graph schema formalism (paper §2.1, Def. 1) and schema triples (Def. 5-6)."""
+
+from repro.schema.builder import SchemaBuilder
+from repro.schema.model import GraphSchema, PropertySpec, SchemaEdge, SchemaNode
+from repro.schema.triples import SchemaTriple, basic_triples
+from repro.schema.validation import ConsistencyReport, check_consistency
+
+__all__ = [
+    "GraphSchema",
+    "PropertySpec",
+    "SchemaBuilder",
+    "SchemaEdge",
+    "SchemaNode",
+    "SchemaTriple",
+    "basic_triples",
+    "ConsistencyReport",
+    "check_consistency",
+]

@@ -1,0 +1,73 @@
+"""Fluent construction of graph schemas.
+
+Example::
+
+    schema = (
+        SchemaBuilder("yago")
+        .node("PERSON", name="String", age="Int")
+        .node("CITY", name="String")
+        .edge("PERSON", "livesIn", "CITY")
+        .edge("PERSON", "isMarriedTo", "PERSON")
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.schema.model import GraphSchema, PropertySpec, SchemaEdge, SchemaNode
+
+
+class SchemaBuilder:
+    """Accumulates node and edge declarations, then builds a GraphSchema."""
+
+    def __init__(self, name: str = "schema"):
+        self.name = name
+        self._nodes: list[SchemaNode] = []
+        self._node_labels: set[str] = set()
+        self._edges: list[SchemaEdge] = []
+
+    def node(self, label: str, **properties: str) -> "SchemaBuilder":
+        """Declare a node label with ``key="Type"`` property specs."""
+        if label in self._node_labels:
+            raise SchemaError(f"node label {label!r} declared twice")
+        specs = tuple(
+            PropertySpec(key, data_type) for key, data_type in properties.items()
+        )
+        self._nodes.append(SchemaNode(label, specs))
+        self._node_labels.add(label)
+        return self
+
+    def edge(self, source: str, label: str, target: str) -> "SchemaBuilder":
+        """Declare a directed edge ``source -label-> target``."""
+        self._edges.append(SchemaEdge(source, label, target))
+        return self
+
+    def edges(self, *triples: tuple[str, str, str]) -> "SchemaBuilder":
+        """Declare several ``(source, label, target)`` edges at once."""
+        for source, label, target in triples:
+            self.edge(source, label, target)
+        return self
+
+    def build(self) -> GraphSchema:
+        return GraphSchema(self._nodes, self._edges, name=self.name)
+
+
+def yago_example_schema() -> GraphSchema:
+    """The running-example schema of the paper's Fig. 1."""
+    return (
+        SchemaBuilder("yago-fig1")
+        .node("PERSON", name="String", age="Int")
+        .node("CITY", name="String")
+        .node("PROPERTY", address="String")
+        .node("REGION", name="String")
+        .node("COUNTRY", name="String")
+        .edge("PERSON", "isMarriedTo", "PERSON")
+        .edge("PERSON", "livesIn", "CITY")
+        .edge("PERSON", "owns", "PROPERTY")
+        .edge("PROPERTY", "isLocatedIn", "CITY")
+        .edge("CITY", "isLocatedIn", "REGION")
+        .edge("REGION", "isLocatedIn", "COUNTRY")
+        .edge("COUNTRY", "dealsWith", "COUNTRY")
+        .build()
+    )

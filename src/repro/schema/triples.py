@@ -1,0 +1,50 @@
+"""Graph schema triples (paper Def. 5 and Def. 6).
+
+A *basic* graph schema triple ``(ln, le, l'n)`` records that the schema has
+an ``le``-labelled edge from an ``ln``-labelled node to an ``l'n``-labelled
+node. General schema triples ``(ln, ψ, l'n)`` carry an annotated path
+expression instead of a single label; the inference engine
+(:mod:`repro.core.inference`) computes the set of triples compatible with a
+path expression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.ast import Edge, PathExpr
+from repro.schema.model import GraphSchema
+
+
+@dataclass(frozen=True)
+class SchemaTriple:
+    """A graph schema triple ``(source, expr, target)`` (Def. 6).
+
+    The paper writes ``sc(t)``, ``eT(t)`` and ``tr(t)`` for the three
+    components; they are the ``source``, ``expr`` and ``target`` fields.
+    """
+
+    source: str
+    expr: PathExpr
+    target: str
+
+    def __str__(self) -> str:
+        return f"({self.source}, {self.expr}, {self.target})"
+
+
+def basic_triples(schema: GraphSchema) -> frozenset[SchemaTriple]:
+    """The set Tb(S) of basic graph schema triples (Def. 5)."""
+    return frozenset(
+        SchemaTriple(edge.source_label, Edge(edge.edge_label), edge.target_label)
+        for edge in schema.edges()
+    )
+
+
+def triples_for_edge_label(
+    schema: GraphSchema, edge_label: str
+) -> frozenset[SchemaTriple]:
+    """Basic triples whose edge label is ``edge_label`` (rule TBASIC)."""
+    return frozenset(
+        SchemaTriple(edge.source_label, Edge(edge_label), edge.target_label)
+        for edge in schema.edges_for_label(edge_label)
+    )

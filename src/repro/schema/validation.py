@@ -1,0 +1,94 @@
+"""Schema–database consistency checking (paper Def. 3).
+
+A database D is consistent with a schema S when every node's label exists
+in the schema, every edge maps to a schema edge with matching endpoint
+labels, and every node property conforms to the schema node's property
+specification (strict schema semantics, after PG-Schema).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConsistencyError
+from repro.graph.model import PropertyGraph
+from repro.schema.model import GraphSchema, value_data_type
+
+
+@dataclass
+class ConsistencyReport:
+    """Outcome of a consistency check, with human-readable violations."""
+
+    violations: list[str] = field(default_factory=list)
+    nodes_checked: int = 0
+    edges_checked: int = 0
+
+    @property
+    def consistent(self) -> bool:
+        return not self.violations
+
+    def raise_if_inconsistent(self) -> None:
+        if self.violations:
+            preview = "; ".join(self.violations[:5])
+            more = len(self.violations) - 5
+            suffix = f" (+{more} more)" if more > 0 else ""
+            raise ConsistencyError(
+                f"database violates schema: {preview}{suffix}"
+            )
+
+
+def check_consistency(
+    graph: PropertyGraph,
+    schema: GraphSchema,
+    max_violations: int = 100,
+) -> ConsistencyReport:
+    """Check Def. 3; collects up to ``max_violations`` violations."""
+    report = ConsistencyReport()
+
+    def record(message: str) -> bool:
+        report.violations.append(message)
+        return len(report.violations) >= max_violations
+
+    # Node labels and properties.
+    for node_id in graph.node_ids():
+        report.nodes_checked += 1
+        label = graph.node_label(node_id)
+        if not schema.has_node_label(label):
+            if record(f"node {node_id} has unknown label {label!r}"):
+                return report
+            continue
+        spec = schema.property_spec(label)
+        for key, value in graph.node_properties(node_id).items():
+            if key not in spec:
+                if record(
+                    f"node {node_id} ({label}) has undeclared property {key!r}"
+                ):
+                    return report
+                continue
+            try:
+                data_type = value_data_type(value)
+            except Exception:
+                data_type = "<non-atomic>"
+            if not spec[key].accepts(value):
+                if record(
+                    f"node {node_id} ({label}).{key} = {value!r} has type "
+                    f"{data_type}, schema requires {spec[key].data_type}"
+                ):
+                    return report
+
+    # Edges: each must correspond to a schema edge with matching labels.
+    allowed = {
+        (edge.source_label, edge.edge_label, edge.target_label)
+        for edge in schema.edges()
+    }
+    for edge_label in graph.edge_labels:
+        for source, target in graph.edge_pairs(edge_label):
+            report.edges_checked += 1
+            key = (graph.node_label(source), edge_label, graph.node_label(target))
+            if key not in allowed:
+                if record(
+                    f"edge {source} -{edge_label}-> {target} with endpoint "
+                    f"labels ({key[0]}, {key[2]}) has no schema counterpart"
+                ):
+                    return report
+    return report

@@ -1,0 +1,13 @@
+"""Recursive SQL generation (RRA2SQL) and the executable SQLite backend."""
+
+from repro.sql.dialects import view_statement
+from repro.sql.generate import SqlGenerator, ra_to_sql, ucqt_to_sql
+from repro.sql.sqlite_backend import SqliteBackend
+
+__all__ = [
+    "SqlGenerator",
+    "ra_to_sql",
+    "ucqt_to_sql",
+    "view_statement",
+    "SqliteBackend",
+]

@@ -1,0 +1,39 @@
+"""Dialect-specific wrappers for the generated recursive SQL.
+
+Paper §4, footnote 6 — the fixpoints are installed as recursive views:
+
+* MySQL:      ``CREATE OR REPLACE VIEW ... AS WITH RECURSIVE ...``
+* SQLite:     ``CREATE VIEW ... AS WITH RECURSIVE ...``
+* PostgreSQL: ``CREATE TEMPORARY RECURSIVE VIEW ...`` (PostgreSQL's
+  recursive-view syntax implies the WITH RECURSIVE prefix)
+
+Only the SQLite dialect is *executed* in this reproduction (via the stdlib
+``sqlite3``); the other dialects are emitted as text artefacts.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TranslationError
+
+DIALECTS = ("sqlite", "postgresql", "mysql")
+
+
+def view_statement(dialect: str, view_name: str, query_sql: str) -> str:
+    """Wrap a generated query as a view-creation statement."""
+    if dialect == "sqlite":
+        return f"CREATE VIEW {view_name} AS\n{query_sql};"
+    if dialect == "mysql":
+        return f"CREATE OR REPLACE VIEW {view_name} AS\n{query_sql};"
+    if dialect == "postgresql":
+        body = query_sql
+        prefix = "WITH RECURSIVE\n"
+        if body.startswith(prefix):
+            # PostgreSQL recursive views take the bare query; the RECURSIVE
+            # keyword moves into the CREATE statement.
+            return (
+                f"CREATE TEMPORARY RECURSIVE VIEW {view_name} AS\n{body};"
+            )
+        return f"CREATE TEMPORARY VIEW {view_name} AS\n{body};"
+    raise TranslationError(
+        f"unknown SQL dialect {dialect!r}; expected one of {DIALECTS}"
+    )

@@ -1,0 +1,248 @@
+"""RRA2SQL — compile recursive relational algebra terms to SQL text.
+
+The generator produces *flat* SQL: projections, renames and selections fold
+into the running SELECT, and natural-join trees flatten into a single
+``FROM ... JOIN ... ON ...`` chain (the style of the paper's Fig. 15).
+Flatness matters twice over — SQLite's parser has a small stack, and its
+recursive CTEs require the recursion variable to appear directly in the
+FROM clause of the recursive select, not inside a subquery.
+
+Fixpoints become recursive CTEs hoisted (in dependency order) into one
+top-level ``WITH RECURSIVE`` clause. Set semantics come from ``UNION`` in
+the CTEs/unions and one ``SELECT DISTINCT`` at the top level; intermediate
+duplicates cannot change the final result.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import TranslationError
+from repro.query.model import UCQT
+from repro.ra.terms import (
+    Fix,
+    Join,
+    Project,
+    RaTerm,
+    RaUnion,
+    Rel,
+    Rename,
+    SelectEq,
+    Var,
+)
+from repro.ra.translate import TranslationContext, ucqt_to_ra
+from repro.storage.relational import RelationalStore
+
+
+@dataclass
+class _Source:
+    """One FROM-clause entry: a table name or a parenthesised subquery."""
+
+    sql: str
+    alias: str
+    is_table: bool
+
+
+@dataclass
+class _Condition:
+    """A join/filter predicate and the aliases it references."""
+
+    sql: str
+    aliases: frozenset[str]
+
+
+@dataclass
+class _Spec:
+    """A flattened SELECT under construction."""
+
+    select: dict[str, str] = field(default_factory=dict)  # column -> expr
+    sources: list[_Source] = field(default_factory=list)
+    conditions: list[_Condition] = field(default_factory=list)
+
+
+class SqlGenerator:
+    """Stateful generator: one instance per query (collects CTEs)."""
+
+    def __init__(self, store: RelationalStore):
+        self.store = store
+        self._ctes: list[tuple[str, tuple[str, ...], str]] = []
+        self._cte_names: set[str] = set()
+        self._alias_counter = itertools.count()
+
+    def _alias(self) -> str:
+        return f"t{next(self._alias_counter)}"
+
+    def generate(self, term: RaTerm) -> str:
+        """Full SQL statement for ``term`` (WITH RECURSIVE ... SELECT ...)."""
+        body = self._statement(term, distinct=True)
+        if not self._ctes:
+            return body
+        cte_sql = ",\n".join(
+            f"{name}({', '.join(columns)}) AS (\n{sql}\n)"
+            for name, columns, sql in self._ctes
+        )
+        return f"WITH RECURSIVE\n{cte_sql}\n{body}"
+
+    # -- statements ---------------------------------------------------------
+    def _statement(
+        self,
+        term: RaTerm,
+        distinct: bool,
+        columns: tuple[str, ...] | None = None,
+    ) -> str:
+        """A full SELECT (or UNION of SELECTs) for ``term``.
+
+        ``columns`` pins the output column *order* — essential wherever SQL
+        matches columns positionally (UNION arms, recursive CTE arms).
+        """
+        if columns is None:
+            columns = term.columns(self.store)
+        if isinstance(term, RaUnion):
+            arms = self._union_arms(term)
+            rendered = [
+                self._render(self._spec(arm), columns, distinct=False)
+                for arm in arms
+            ]
+            return "\nUNION\n".join(rendered)
+        return self._render(self._spec(term), columns, distinct)
+
+    def _union_arms(self, term: RaTerm) -> list[RaTerm]:
+        if isinstance(term, RaUnion):
+            return self._union_arms(term.left) + self._union_arms(term.right)
+        return [term]
+
+    def _render(
+        self, spec: _Spec, columns: tuple[str, ...], distinct: bool
+    ) -> str:
+        select_items = ", ".join(f"{spec.select[c]} AS {c}" for c in columns)
+        keyword = "SELECT DISTINCT" if distinct else "SELECT"
+
+        from_parts: list[str] = []
+        pending = list(spec.conditions)
+        seen_aliases: set[str] = set()
+        for index, source in enumerate(spec.sources):
+            seen_aliases.add(source.alias)
+            source_sql = (
+                f"{source.sql} AS {source.alias}"
+                if source.is_table
+                else f"(\n{source.sql}\n) AS {source.alias}"
+            )
+            if index == 0:
+                from_parts.append(source_sql)
+                continue
+            ready = [
+                c
+                for c in pending
+                if source.alias in c.aliases and c.aliases <= seen_aliases
+            ]
+            for condition in ready:
+                pending.remove(condition)
+            if ready:
+                on_sql = " AND ".join(c.sql for c in ready)
+                from_parts.append(f"JOIN {source_sql} ON {on_sql}")
+            else:
+                from_parts.append(f"CROSS JOIN {source_sql}")
+        sql = f"{keyword} {select_items} FROM " + " ".join(from_parts)
+        if pending:
+            sql += " WHERE " + " AND ".join(c.sql for c in pending)
+        return sql
+
+    # -- spec construction ----------------------------------------------------
+    def _spec(self, term: RaTerm) -> _Spec:
+        if isinstance(term, Rel):
+            alias = self._alias()
+            columns = term.columns(self.store)
+            return _Spec(
+                select={c: f"{alias}.{c}" for c in columns},
+                sources=[_Source(term.name, alias, is_table=True)],
+            )
+        if isinstance(term, Var):
+            alias = self._alias()
+            return _Spec(
+                select={c: f"{alias}.{c}" for c in term.var_columns},
+                sources=[_Source(term.name, alias, is_table=True)],
+            )
+        if isinstance(term, Rename):
+            spec = self._spec(term.child)
+            mapping = dict(term.mapping)
+            spec.select = {
+                mapping.get(old, old): expr for old, expr in spec.select.items()
+            }
+            return spec
+        if isinstance(term, Project):
+            spec = self._spec(term.child)
+            spec.select = {c: spec.select[c] for c in term.keep}
+            return spec
+        if isinstance(term, SelectEq):
+            spec = self._spec(term.child)
+            left = spec.select[term.column_a]
+            right = spec.select[term.column_b]
+            aliases = frozenset(
+                expr.split(".")[0] for expr in (left, right)
+            )
+            spec.conditions.append(_Condition(f"{left} = {right}", aliases))
+            return spec
+        if isinstance(term, Join):
+            left = self._spec(term.left)
+            right = self._spec(term.right)
+            shared = [c for c in left.select if c in right.select]
+            merged = _Spec(
+                select={**right.select, **left.select},
+                sources=left.sources + right.sources,
+                conditions=left.conditions + right.conditions,
+            )
+            for column in shared:
+                left_expr = left.select[column]
+                right_expr = right.select[column]
+                aliases = frozenset(
+                    expr.split(".")[0] for expr in (left_expr, right_expr)
+                )
+                merged.conditions.append(
+                    _Condition(f"{left_expr} = {right_expr}", aliases)
+                )
+            return merged
+        if isinstance(term, RaUnion):
+            # A union nested under a join: materialise as a subquery source.
+            columns = term.columns(self.store)
+            sql = self._statement(term, distinct=False)
+            alias = self._alias()
+            return _Spec(
+                select={c: f"{alias}.{c}" for c in columns},
+                sources=[_Source(sql, alias, is_table=False)],
+            )
+        if isinstance(term, Fix):
+            return self._fixpoint_spec(term)
+        raise TranslationError(f"cannot generate SQL for {term!r}")
+
+    def _fixpoint_spec(self, term: Fix) -> _Spec:
+        columns = term.base.columns(self.store)
+        # A fixpoint shared across disjuncts (same term object, same CTE
+        # name) is emitted once and referenced everywhere.
+        if term.var not in self._cte_names:
+            self._cte_names.add(term.var)
+            base_sql = self._statement(term.base, distinct=False, columns=columns)
+            step_sql = self._statement(term.step, distinct=False, columns=columns)
+            self._ctes.append(
+                (term.var, columns, f"{base_sql}\nUNION\n{step_sql}")
+            )
+        alias = self._alias()
+        return _Spec(
+            select={c: f"{alias}.{c}" for c in columns},
+            sources=[_Source(term.var, alias, is_table=True)],
+        )
+
+
+def ra_to_sql(term: RaTerm, store: RelationalStore) -> str:
+    """One-shot SQL generation for an RA term."""
+    return SqlGenerator(store).generate(term)
+
+
+def ucqt_to_sql(
+    query: UCQT,
+    store: RelationalStore,
+    ctx: TranslationContext | None = None,
+) -> str:
+    """Translate a UCQT to RA, then to SQL (the paper's full pipeline)."""
+    term = ucqt_to_ra(query, ctx)
+    return ra_to_sql(term, store)

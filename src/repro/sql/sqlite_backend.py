@@ -1,0 +1,115 @@
+"""Executable SQL backend on the stdlib ``sqlite3``.
+
+This is the one *real* database system available offline: the relational
+store is loaded into an in-memory SQLite database (node tables with a
+primary key on ``Sr``, edge tables with a composite primary key and a
+reverse index, alias views for the abstract LDBC relations), and the SQL
+produced by :mod:`repro.sql.generate` is executed as-is.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+from typing import Iterable
+
+from repro.errors import EvaluationError, QueryTimeout
+from repro.query.model import UCQT
+from repro.ra.translate import TranslationContext
+from repro.sql.generate import ucqt_to_sql
+from repro.storage.relational import RelationalStore
+
+_SQL_TYPE = {int: "INTEGER", float: "REAL", str: "TEXT", bool: "INTEGER"}
+
+
+class SqliteBackend:
+    """An in-memory SQLite database loaded from a relational store."""
+
+    def __init__(self, store: RelationalStore):
+        self.store = store
+        self.connection = sqlite3.connect(":memory:")
+        self._load()
+
+    # -- loading -----------------------------------------------------------
+    def _load(self) -> None:
+        cursor = self.connection.cursor()
+        for name in sorted(self.store.node_tables):
+            table = self.store.table(name)
+            column_defs = ", ".join(
+                f"{c} INTEGER PRIMARY KEY" if c == "Sr" else f"{c}"
+                for c in table.columns
+            )
+            cursor.execute(f"CREATE TABLE {name} ({column_defs})")
+            placeholders = ", ".join("?" for _ in table.columns)
+            cursor.executemany(
+                f"INSERT INTO {name} VALUES ({placeholders})", list(table.rows)
+            )
+        for name in sorted(self.store.edge_tables):
+            table = self.store.table(name)
+            cursor.execute(
+                f"CREATE TABLE {name} (Sr INTEGER, Tr INTEGER, "
+                f"PRIMARY KEY (Sr, Tr)) WITHOUT ROWID"
+            )
+            cursor.executemany(
+                f"INSERT INTO {name} VALUES (?, ?)", list(table.rows)
+            )
+            cursor.execute(f"CREATE INDEX idx_{name}_tr ON {name} (Tr)")
+        for alias, members in sorted(self.store.aliases.items()):
+            union_sql = " UNION ".join(f"SELECT Sr FROM {m}" for m in members)
+            cursor.execute(f"CREATE VIEW {alias} AS {union_sql}")
+        cursor.execute("ANALYZE")
+        self.connection.commit()
+
+    # -- execution -----------------------------------------------------------
+    def execute_sql(
+        self, sql: str, timeout_seconds: float | None = None
+    ) -> frozenset[tuple]:
+        """Run a query, returning the result rows as a frozen set.
+
+        The timeout uses SQLite's progress handler, matching the
+        cooperative-deadline behaviour of the in-process engines.
+        """
+        if timeout_seconds is not None:
+            deadline = time.monotonic() + timeout_seconds
+
+            def cancel_if_late() -> int:
+                return 1 if time.monotonic() > deadline else 0
+
+            self.connection.set_progress_handler(cancel_if_late, 20_000)
+        try:
+            cursor = self.connection.execute(sql)
+            return frozenset(tuple(row) for row in cursor.fetchall())
+        except sqlite3.OperationalError as error:
+            if "interrupted" in str(error):
+                raise QueryTimeout(timeout_seconds or 0.0) from error
+            raise EvaluationError(f"SQLite rejected the query: {error}") from error
+        finally:
+            if timeout_seconds is not None:
+                self.connection.set_progress_handler(None, 0)
+
+    def execute_ucqt(
+        self,
+        query: UCQT,
+        timeout_seconds: float | None = None,
+        ctx: TranslationContext | None = None,
+    ) -> frozenset[tuple]:
+        """Translate a UCQT to SQL and run it."""
+        if query.is_empty:
+            return frozenset()
+        sql = ucqt_to_sql(query, self.store, ctx)
+        return self.execute_sql(sql, timeout_seconds)
+
+    def explain_query_plan(self, sql: str) -> str:
+        """SQLite's own EXPLAIN QUERY PLAN output (plan-level inspection)."""
+        cursor = self.connection.execute(f"EXPLAIN QUERY PLAN {sql}")
+        lines = [f"{row[0]:>4} {row[1]:>4} {row[3]}" for row in cursor.fetchall()]
+        return "\n".join(lines)
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "SqliteBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

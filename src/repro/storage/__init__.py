@@ -1,0 +1,5 @@
+"""Relational representation of property graphs (paper Fig. 11)."""
+
+from repro.storage.relational import RelationalStore, Table
+
+__all__ = ["RelationalStore", "Table"]

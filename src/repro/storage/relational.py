@@ -1,0 +1,164 @@
+"""Relational storage of a property graph (paper §4, Fig. 11).
+
+One table per edge label with columns ``(Sr, Tr)`` (foreign keys to source
+and target node), one table per node label with key column ``Sr`` plus one
+column per declared property. *Alias views* implement the paper's abstract
+LDBC relations (``Organisation`` = Company ∪ University, ``Place`` = City ∪
+Country ∪ Continent) so the Fig. 15-17 artefacts can be reproduced
+verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import EvaluationError
+from repro.graph.model import PropertyGraph
+from repro.schema.model import GraphSchema
+
+Row = tuple
+
+
+@dataclass
+class Table:
+    """An in-memory relation: named columns over a set of rows."""
+
+    name: str
+    columns: tuple[str, ...]
+    rows: set[Row] = field(default_factory=set)
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    def distinct_count(self, column: str) -> int:
+        index = self.columns.index(column)
+        return len({row[index] for row in self.rows})
+
+    def column_values(self, column: str) -> set:
+        index = self.columns.index(column)
+        return {row[index] for row in self.rows}
+
+
+class RelationalStore:
+    """Node and edge tables derived from a property graph."""
+
+    def __init__(self, name: str = "store"):
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._aliases: dict[str, tuple[str, ...]] = {}
+        self._node_labels: set[str] = set()
+        self._edge_labels: set[str] = set()
+
+    # -- loading -----------------------------------------------------------
+    @classmethod
+    def from_graph(
+        cls,
+        graph: PropertyGraph,
+        schema: GraphSchema | None = None,
+        name: str | None = None,
+    ) -> "RelationalStore":
+        """Build the Fig. 11 representation of ``graph``.
+
+        When a schema is supplied, node tables get one column per declared
+        property (missing values become None); otherwise node tables are
+        key-only.
+        """
+        store = cls(name or f"{graph.name}-relational")
+        # When a schema is given, every schema label gets a table — even
+        # empty ones — so queries over rare labels always resolve.
+        node_labels = set(graph.node_labels)
+        edge_labels = set(graph.edge_labels)
+        if schema is not None:
+            node_labels |= set(schema.node_labels)
+            edge_labels |= set(schema.edge_labels)
+        for label in sorted(node_labels):
+            prop_keys: tuple[str, ...] = ()
+            if schema is not None and schema.has_node_label(label):
+                prop_keys = tuple(p.key for p in schema.node(label).properties)
+            columns = ("Sr",) + prop_keys
+            rows = set()
+            for node_id in graph.nodes_with_label(label):
+                props = graph.node_properties(node_id)
+                rows.add((node_id,) + tuple(props.get(k) for k in prop_keys))
+            store.add_table(Table(label, columns, rows), node_label=True)
+        for label in sorted(edge_labels):
+            rows = set(graph.edge_pairs(label))
+            store.add_table(Table(label, ("Sr", "Tr"), rows), node_label=False)
+        return store
+
+    def add_table(self, table: Table, node_label: bool) -> None:
+        if table.name in self._tables or table.name in self._aliases:
+            raise EvaluationError(f"duplicate table name {table.name!r}")
+        self._tables[table.name] = table
+        if node_label:
+            self._node_labels.add(table.name)
+        else:
+            self._edge_labels.add(table.name)
+
+    def add_alias(self, name: str, member_labels: Iterable[str]) -> None:
+        """Declare a union view over node tables (e.g. Organisation)."""
+        members = tuple(member_labels)
+        for member in members:
+            if member not in self._tables:
+                raise EvaluationError(
+                    f"alias {name!r} references unknown table {member!r}"
+                )
+        if name in self._tables or name in self._aliases:
+            raise EvaluationError(f"duplicate table name {name!r}")
+        self._aliases[name] = members
+
+    # -- access -----------------------------------------------------------
+    def has_table(self, name: str) -> bool:
+        return name in self._tables or name in self._aliases
+
+    def table(self, name: str) -> Table:
+        """Resolve a table or alias view (alias rows are key-only)."""
+        if name in self._tables:
+            return self._tables[name]
+        if name in self._aliases:
+            rows: set[Row] = set()
+            for member in self._aliases[name]:
+                member_table = self._tables[member]
+                index = member_table.columns.index("Sr")
+                rows.update((row[index],) for row in member_table.rows)
+            return Table(name, ("Sr",), rows)
+        raise EvaluationError(f"unknown table {name!r}")
+
+    def node_ids(self, label: str) -> frozenset[int]:
+        """Key set of a node table or alias."""
+        table = self.table(label)
+        return frozenset(table.column_values("Sr"))
+
+    @property
+    def node_tables(self) -> frozenset[str]:
+        return frozenset(self._node_labels)
+
+    @property
+    def edge_tables(self) -> frozenset[str]:
+        return frozenset(self._edge_labels)
+
+    @property
+    def aliases(self) -> Mapping[str, tuple[str, ...]]:
+        return dict(self._aliases)
+
+    def is_node_table(self, name: str) -> bool:
+        return name in self._node_labels or name in self._aliases
+
+    # -- statistics (feeds the Fig. 17 cost model) -------------------------
+    def row_count(self, name: str) -> int:
+        return self.table(name).row_count
+
+    def distinct_count(self, name: str, column: str) -> int:
+        return self.table(name).distinct_count(column)
+
+    def stats(self) -> dict[str, int]:
+        node_rows = sum(self._tables[t].row_count for t in self._node_labels)
+        edge_rows = sum(self._tables[t].row_count for t in self._edge_labels)
+        return {
+            "node_tables": len(self._node_labels),
+            "edge_tables": len(self._edge_labels),
+            "node_rows": node_rows,
+            "edge_rows": edge_rows,
+        }

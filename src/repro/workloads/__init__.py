@@ -1,0 +1,12 @@
+"""Query workloads: Table 4 (LDBC) and the 18 YAGO queries (§5.1.3)."""
+
+from repro.workloads.ldbc_queries import LDBC_QUERIES, WorkloadQuery, ldbc_queries
+from repro.workloads.yago_queries import YAGO_QUERIES, yago_queries
+
+__all__ = [
+    "WorkloadQuery",
+    "LDBC_QUERIES",
+    "ldbc_queries",
+    "YAGO_QUERIES",
+    "yago_queries",
+]

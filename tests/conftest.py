@@ -1,0 +1,40 @@
+"""Shared fixtures: the paper's running example and small datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.ldbc import generate_ldbc, ldbc_schema, ldbc_store
+from repro.datasets.yago import generate_yago, yago_schema, yago_store
+from repro.graph.model import yago_example_graph
+from repro.schema.builder import yago_example_schema
+
+
+@pytest.fixture(scope="session")
+def fig1_schema():
+    """The paper's Fig. 1 running-example schema."""
+    return yago_example_schema()
+
+
+@pytest.fixture(scope="session")
+def fig2_graph():
+    """The paper's Fig. 2 running-example database."""
+    return yago_example_graph()
+
+
+@pytest.fixture(scope="session")
+def ldbc_small():
+    """A small LDBC dataset: (schema, graph, store)."""
+    schema = ldbc_schema()
+    graph = generate_ldbc(0.05, seed=3)
+    store = ldbc_store(graph, schema)
+    return schema, graph, store
+
+
+@pytest.fixture(scope="session")
+def yago_small():
+    """A small YAGO dataset: (schema, graph, store)."""
+    schema = yago_schema()
+    graph = generate_yago(0.08, seed=5)
+    store = yago_store(graph, schema)
+    return schema, graph, store

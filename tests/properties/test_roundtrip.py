@@ -1,0 +1,78 @@
+"""Property-based tests: printer/parser round-trips on arbitrary ASTs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.ast import (
+    AnnotatedConcat,
+    BranchLeft,
+    BranchRight,
+    Concat,
+    Conj,
+    Edge,
+    PathExpr,
+    Plus,
+    Repeat,
+    Reverse,
+    Union,
+)
+from repro.algebra.ops import strip_annotations, transform_bottom_up
+from repro.algebra.parser import parse
+from repro.algebra.printer import to_text
+
+_LABELS = st.sampled_from(["a", "b", "knows", "isL", "e1", "x9"])
+_NODE_LABELS = st.sampled_from(["P", "CITY", "Org2"])
+
+
+def _exprs() -> st.SearchStrategy[PathExpr]:
+    leaves = st.one_of(
+        _LABELS.map(Edge),
+        _LABELS.map(lambda l: Reverse(Edge(l))),
+    )
+
+    def extend(children: st.SearchStrategy[PathExpr]):
+        pairs = st.tuples(children, children)
+        return st.one_of(
+            pairs.map(lambda p: Concat(*p)),
+            pairs.map(lambda p: Union(*p)),
+            pairs.map(lambda p: Conj(*p)),
+            pairs.map(lambda p: BranchRight(*p)),
+            pairs.map(lambda p: BranchLeft(*p)),
+            children.map(Plus),
+            st.tuples(children, st.integers(1, 3), st.integers(0, 2)).map(
+                lambda t: Repeat(t[0], t[1], t[1] + t[2])
+            ),
+            st.tuples(
+                children, children, st.sets(_NODE_LABELS, min_size=1, max_size=2)
+            ).map(lambda t: AnnotatedConcat(t[0], t[1], frozenset(t[2]))),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+@given(_exprs())
+@settings(max_examples=300, deadline=None)
+def test_parse_to_text_round_trip(expr):
+    assert parse(to_text(expr)) == expr
+
+
+@given(_exprs())
+@settings(max_examples=200, deadline=None)
+def test_strip_annotations_idempotent(expr):
+    stripped = strip_annotations(expr)
+    assert strip_annotations(stripped) == stripped
+    assert not stripped.is_annotated()
+
+
+@given(_exprs())
+@settings(max_examples=200, deadline=None)
+def test_identity_transform_preserves(expr):
+    assert transform_bottom_up(expr, lambda node: node) == expr
+
+
+@given(_exprs())
+@settings(max_examples=200, deadline=None)
+def test_walk_contains_self_and_respects_size(expr):
+    nodes = list(expr.walk())
+    assert nodes[0] is expr
+    assert len(nodes) == expr.size()

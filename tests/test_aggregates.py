@@ -1,0 +1,112 @@
+"""Tests for the aggregation extension (paper §7 perspective).
+
+The key invariant: set-based aggregates are preserved by the schema-based
+rewriting, because Theorem 1 makes the result sets equal.
+"""
+
+import pytest
+
+from repro.core.rewriter import rewrite_query
+from repro.datasets.random_graphs import (
+    random_graph,
+    random_path_expr,
+    random_schema,
+)
+from repro.errors import EvaluationError
+from repro.query.aggregates import (
+    count,
+    degree_histogram,
+    exists,
+    group_count,
+    top_k,
+)
+from repro.query.model import single_relation_query
+from repro.query.parser import parse_query
+
+
+class TestBasics:
+    def test_count_on_example(self, fig2_graph):
+        query = parse_query("x1, x2 <- (x1, isLocatedIn+, x2)")
+        assert count(fig2_graph, query) == 8
+
+    def test_exists(self, fig2_graph):
+        assert exists(fig2_graph, parse_query("x1, x2 <- (x1, owns, x2)"))
+        assert not exists(
+            fig2_graph, parse_query("x1, x2 <- (x1, dealsWith, x2)")
+        )
+
+    def test_group_count(self, fig2_graph):
+        query = parse_query("x1, x2 <- (x1, isLocatedIn+, x2)")
+        groups = group_count(fig2_graph, query, "x1")
+        # node 1 (the property) reaches CITY, REGION and COUNTRY.
+        assert groups[1] == 3
+        assert groups[5] == 1
+
+    def test_group_by_second_variable(self, fig2_graph):
+        query = parse_query("x1, x2 <- (x1, isLocatedIn+, x2)")
+        groups = group_count(fig2_graph, query, "x2")
+        # France is reached from the property, both cities, and the region.
+        assert groups[7] == 4
+
+    def test_degree_histogram(self, fig2_graph):
+        query = parse_query("x1, x2 <- (x1, isLocatedIn, x2)")
+        histogram = degree_histogram(fig2_graph, query, "x1")
+        assert histogram == {1: 4}  # every located node has exactly one step
+
+    def test_top_k(self, fig2_graph):
+        query = parse_query("x1, x2 <- (x1, isLocatedIn+, x2)")
+        top = top_k(fig2_graph, query, "x1", k=1)
+        assert top == [(1, 3)]
+
+    def test_top_k_validates(self, fig2_graph):
+        query = parse_query("x1, x2 <- (x1, owns, x2)")
+        with pytest.raises(EvaluationError):
+            top_k(fig2_graph, query, "x1", k=0)
+
+    def test_group_by_unknown_variable(self, fig2_graph):
+        query = parse_query("x1, x2 <- (x1, owns, x2)")
+        with pytest.raises(EvaluationError):
+            group_count(fig2_graph, query, "zz")
+
+
+class TestPreservedByRewriting:
+    """Aggregates commute with the schema-based rewriting (Theorem 1)."""
+
+    def test_on_example(self, fig1_schema, fig2_graph):
+        query = parse_query("x1, x2 <- (x1, livesIn/isLocatedIn+, x2)")
+        rewritten = rewrite_query(query, fig1_schema).query
+        assert count(fig2_graph, query) == count(fig2_graph, rewritten)
+        assert group_count(fig2_graph, query, "x1") == group_count(
+            fig2_graph, rewritten, "x1"
+        )
+        assert degree_histogram(fig2_graph, query, "x2") == degree_histogram(
+            fig2_graph, rewritten, "x2"
+        )
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_on_random_instances(self, seed):
+        schema = random_schema(seed)
+        graph = random_graph(schema, seed + 400, max_nodes=16, max_edges=40)
+        expr = random_path_expr(schema, seed + 800, max_depth=3)
+        query = single_relation_query(expr)
+        rewritten = rewrite_query(query, schema).query
+        assert count(graph, query) == count(graph, rewritten)
+        assert exists(graph, query) == exists(graph, rewritten)
+        if not rewritten.is_empty:
+            assert group_count(graph, query, "x1") == group_count(
+                graph, rewritten, "x1"
+            )
+            assert top_k(graph, query, "x2", k=3) == top_k(
+                graph, rewritten, "x2", k=3
+            )
+
+
+class TestOnWorkload:
+    def test_ldbc_aggregate_scenario(self, ldbc_small):
+        """Who are the most-connected people? (IC13-style aggregate)"""
+        schema, graph, _ = ldbc_small
+        query = parse_query("x1, x2 <- (x1, knows+, x2)")
+        rewritten = rewrite_query(query, schema).query
+        assert top_k(graph, query, "x1", k=5) == top_k(
+            graph, rewritten, "x1", k=5
+        )

@@ -1,0 +1,136 @@
+"""Unit tests for the path-expression AST."""
+
+import pytest
+
+from repro.algebra.ast import (
+    BranchLeft,
+    BranchRight,
+    Concat,
+    Conj,
+    Edge,
+    Plus,
+    Repeat,
+    Reverse,
+    Union,
+    concat_all,
+    union_all,
+)
+
+
+class TestEdge:
+    def test_str(self):
+        assert str(Edge("knows")) == "knows"
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError):
+            Edge("")
+
+    def test_equality_is_structural(self):
+        assert Edge("a") == Edge("a")
+        assert Edge("a") != Edge("b")
+
+    def test_hashable(self):
+        assert len({Edge("a"), Edge("a"), Edge("b")}) == 2
+
+
+class TestReverse:
+    def test_only_on_edge_labels(self):
+        with pytest.raises(ValueError):
+            Reverse(Concat(Edge("a"), Edge("b")))
+
+    def test_label_accessor(self):
+        assert Reverse(Edge("owns")).label == "owns"
+
+    def test_str(self):
+        assert str(Reverse(Edge("owns"))) == "-owns"
+
+
+class TestStructure:
+    def test_children_order(self):
+        expr = Concat(Edge("a"), Edge("b"))
+        assert expr.children() == (Edge("a"), Edge("b"))
+
+    def test_branch_left_children_order(self):
+        expr = BranchLeft(Edge("test"), Edge("main"))
+        assert expr.children() == (Edge("test"), Edge("main"))
+
+    def test_walk_preorder(self):
+        expr = Concat(Edge("a"), Plus(Edge("b")))
+        kinds = [type(node).__name__ for node in expr.walk()]
+        assert kinds == ["Concat", "Edge", "Plus", "Edge"]
+
+    def test_size_and_depth(self):
+        expr = Concat(Edge("a"), Plus(Edge("b")))
+        assert expr.size() == 4
+        assert expr.depth() == 3
+        assert Edge("a").depth() == 1
+
+    def test_edge_labels(self):
+        expr = Union(Concat(Edge("a"), Reverse(Edge("b"))), Edge("c"))
+        assert expr.edge_labels() == {"a", "b", "c"}
+
+    def test_is_recursive(self):
+        assert Plus(Edge("a")).is_recursive()
+        assert Concat(Edge("a"), Plus(Edge("b"))).is_recursive()
+        assert not Concat(Edge("a"), Edge("b")).is_recursive()
+
+    def test_is_annotated_false_for_plain(self):
+        assert not Concat(Edge("a"), Edge("b")).is_annotated()
+
+
+class TestOperatorSugar:
+    def test_truediv_builds_concat(self):
+        assert Edge("a") / Edge("b") == Concat(Edge("a"), Edge("b"))
+
+    def test_or_builds_union(self):
+        assert Edge("a") | Edge("b") == Union(Edge("a"), Edge("b"))
+
+    def test_and_builds_conj(self):
+        assert Edge("a") & Edge("b") == Conj(Edge("a"), Edge("b"))
+
+    def test_plus_method(self):
+        assert Edge("a").plus() == Plus(Edge("a"))
+
+
+class TestRepeat:
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Repeat(Edge("a"), 0, 2)
+        with pytest.raises(ValueError):
+            Repeat(Edge("a"), 3, 2)
+
+    def test_expand_single(self):
+        assert Repeat(Edge("a"), 1, 1).expand() == Edge("a")
+
+    def test_expand_one_to_two(self):
+        expanded = Repeat(Edge("a"), 1, 2).expand()
+        assert expanded == Union(Edge("a"), Concat(Edge("a"), Edge("a")))
+
+    def test_expand_two_to_three_lengths(self):
+        expanded = Repeat(Edge("a"), 2, 3).expand()
+        assert isinstance(expanded, Union)
+        # both arms are pure concatenations of 'a'
+        for arm in (expanded.left, expanded.right):
+            assert arm.edge_labels() == {"a"}
+            assert not arm.is_recursive()
+
+
+class TestBuilders:
+    def test_concat_all_right_fold(self):
+        expr = concat_all([Edge("a"), Edge("b"), Edge("c")])
+        assert expr == Concat(Edge("a"), Concat(Edge("b"), Edge("c")))
+
+    def test_concat_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concat_all([])
+
+    def test_union_all_single(self):
+        assert union_all([Edge("a")]) == Edge("a")
+
+    def test_union_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            union_all([])
+
+    def test_branch_right_str_shape(self):
+        assert str(BranchRight(Edge("a"), Edge("b"))) == "a[b]"
+        assert str(BranchLeft(Edge("a"), Edge("b"))) == "[a]b"

@@ -1,0 +1,192 @@
+"""Unit tests for the path-expression parser."""
+
+import pytest
+
+from repro.algebra.ast import (
+    AnnotatedConcat,
+    BranchLeft,
+    BranchRight,
+    Concat,
+    Conj,
+    Edge,
+    Plus,
+    Repeat,
+    Reverse,
+    Union,
+)
+from repro.algebra.parser import parse
+from repro.errors import ParseError
+
+
+class TestAtoms:
+    def test_edge_label(self):
+        assert parse("knows") == Edge("knows")
+
+    def test_reverse(self):
+        assert parse("-hasCreator") == Reverse(Edge("hasCreator"))
+
+    def test_parenthesised(self):
+        assert parse("(knows)") == Edge("knows")
+
+    def test_label_with_digits(self):
+        assert parse("e1") == Edge("e1")
+
+
+class TestOperators:
+    def test_concat_left_associative(self):
+        assert parse("a/b/c") == Concat(Concat(Edge("a"), Edge("b")), Edge("c"))
+
+    def test_union(self):
+        assert parse("a | b") == Union(Edge("a"), Edge("b"))
+
+    def test_union_unicode(self):
+        assert parse("a ∪ b") == Union(Edge("a"), Edge("b"))
+
+    def test_conj(self):
+        assert parse("a & b") == Conj(Edge("a"), Edge("b"))
+
+    def test_conj_unicode(self):
+        assert parse("a ∩ b") == Conj(Edge("a"), Edge("b"))
+
+    def test_precedence_union_weakest(self):
+        # a | b & c/d  ==  a | (b & (c/d))
+        assert parse("a | b & c/d") == Union(
+            Edge("a"), Conj(Edge("b"), Concat(Edge("c"), Edge("d")))
+        )
+
+    def test_plus_postfix(self):
+        assert parse("a+") == Plus(Edge("a"))
+
+    def test_plus_binds_tighter_than_concat(self):
+        assert parse("a/b+") == Concat(Edge("a"), Plus(Edge("b")))
+
+    def test_plus_on_group(self):
+        assert parse("(a/b)+") == Plus(Concat(Edge("a"), Edge("b")))
+
+    def test_plus_after_reverse(self):
+        assert parse("-a+") == Plus(Reverse(Edge("a")))
+
+
+class TestBranches:
+    def test_branch_right(self):
+        assert parse("a[b]") == BranchRight(Edge("a"), Edge("b"))
+
+    def test_branch_left(self):
+        assert parse("[a]b") == BranchLeft(Edge("a"), Edge("b"))
+
+    def test_nested_branches(self):
+        assert parse("a[b[c]]") == BranchRight(
+            Edge("a"), BranchRight(Edge("b"), Edge("c"))
+        )
+
+    def test_branch_left_binds_to_postfix(self):
+        # [a]b/c parses as ([a]b)/c
+        assert parse("[a]b/c") == Concat(
+            BranchLeft(Edge("a"), Edge("b")), Edge("c")
+        )
+
+    def test_paper_y5_fragment(self):
+        expr = parse("[cof]hasT")
+        assert expr == BranchLeft(Edge("cof"), Edge("hasT"))
+
+    def test_chained_postfix_branch(self):
+        assert parse("a[b][c]") == BranchRight(
+            BranchRight(Edge("a"), Edge("b")), Edge("c")
+        )
+
+
+class TestBoundedRepetition:
+    def test_basic(self):
+        assert parse("knows1..3") == Repeat(Edge("knows"), 1, 3)
+
+    def test_on_group(self):
+        assert parse("(a/b)1..2") == Repeat(Concat(Edge("a"), Edge("b")), 1, 2)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ParseError):
+            parse("a3..2")
+
+    def test_zero_lower_bound_rejected(self):
+        with pytest.raises(ParseError):
+            parse("a0..2")
+
+
+class TestAnnotations:
+    def test_single_label(self):
+        assert parse("a/{PERSON}b") == AnnotatedConcat(
+            Edge("a"), Edge("b"), frozenset({"PERSON"})
+        )
+
+    def test_label_set(self):
+        expr = parse("a/{CITY,REGION}b")
+        assert isinstance(expr, AnnotatedConcat)
+        assert expr.labels == {"CITY", "REGION"}
+
+    def test_empty_annotation_rejected(self):
+        with pytest.raises(ParseError):
+            parse("a/{}b")
+
+
+class TestTable4Queries:
+    """Every path expression printed in the paper's Table 4 must parse."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "knows1..3/(isL | (workAt | studyAt)/isL)",
+            "knows/-hasC",
+            "knows1..2/(-hasC[hasT])[hasT]",
+            "(-hasC/-likes) | ((-hasC/-likes) & knows)",
+            "-hasC/-replyOf/hasC",
+            "knows1..2/workAt/isL",
+            "knows/-hasC/replyOf/hasT/hasTY/isSubC+",
+            "knows+",
+            "(knows & (-hasC/replyOf/hasC))+",
+            "knows+/studyAt/isL+/isP+",
+            "-hasM/([cof]hasT)/hasTY/isSubC+",
+            "([cof/hasC]hasM)/isL/isP+",
+            "(([isL/isP]knows)[isL/isP]) & (knows/([isL/isP]knows))",
+            "(knows+[isL/isP])/(-hasC[hasT])/hasT/hasTY",
+            "-isP/-isL/-hasMod/cof/-replyOf+/hasT/hasTY",
+            "(knows & (studyAt/-studyAt))+",
+            "((likes[hasT])[-replyOf])/hasC",
+        ],
+    )
+    def test_parses(self, text):
+        parse(text)
+
+
+class TestErrors:
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse("")
+
+    def test_whitespace_only(self):
+        with pytest.raises(ParseError):
+            parse("   ")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError) as info:
+            parse("a b")
+        assert info.value.position == 2
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse("(a/b")
+
+    def test_unbalanced_bracket(self):
+        with pytest.raises(ParseError):
+            parse("a[b")
+
+    def test_dangling_operator(self):
+        with pytest.raises(ParseError):
+            parse("a/")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse("a @ b")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as info:
+            parse("a//b")
+        assert info.value.position >= 0

@@ -1,0 +1,86 @@
+"""Unit tests for the canonical printer (paren placement, round-trips)."""
+
+import pytest
+
+from repro.algebra.ast import (
+    AnnotatedConcat,
+    BranchLeft,
+    BranchRight,
+    Concat,
+    Conj,
+    Edge,
+    Plus,
+    Repeat,
+    Reverse,
+    Union,
+)
+from repro.algebra.parser import parse
+from repro.algebra.printer import to_text
+
+
+class TestRendering:
+    def test_edge(self):
+        assert to_text(Edge("a")) == "a"
+
+    def test_reverse(self):
+        assert to_text(Reverse(Edge("a"))) == "-a"
+
+    def test_concat_chain(self):
+        expr = Concat(Concat(Edge("a"), Edge("b")), Edge("c"))
+        assert to_text(expr) == "a/b/c"
+
+    def test_right_nested_concat_parenthesised(self):
+        expr = Concat(Edge("a"), Concat(Edge("b"), Edge("c")))
+        assert to_text(expr) == "a/(b/c)"
+
+    def test_union_in_concat_parenthesised(self):
+        expr = Concat(Edge("a"), Union(Edge("b"), Edge("c")))
+        assert to_text(expr) == "a/(b | c)"
+
+    def test_branch_left_under_plus_parenthesised(self):
+        expr = Plus(BranchLeft(Edge("a"), Edge("b")))
+        assert to_text(expr) == "([a]b)+"
+
+    def test_annotated_concat(self):
+        expr = AnnotatedConcat(Edge("a"), Edge("b"), frozenset({"X", "Y"}))
+        assert to_text(expr) == "a/{X,Y}b"
+
+    def test_annotation_labels_sorted(self):
+        expr = AnnotatedConcat(Edge("a"), Edge("b"), frozenset({"Z", "A"}))
+        assert "{A,Z}" in to_text(expr)
+
+    def test_repeat(self):
+        assert to_text(Repeat(Edge("knows"), 1, 3)) == "knows1..3"
+
+    def test_repeat_label_ending_in_digit_parenthesised(self):
+        text = to_text(Repeat(Edge("e1"), 2, 3))
+        assert text == "(e1)2..3"
+        assert parse(text) == Repeat(Edge("e1"), 2, 3)
+
+
+ROUND_TRIP_CASES = [
+    Edge("a"),
+    Reverse(Edge("a")),
+    Concat(Edge("a"), Edge("b")),
+    Concat(Edge("a"), Concat(Edge("b"), Edge("c"))),
+    Union(Edge("a"), Union(Edge("b"), Edge("c"))),
+    Union(Union(Edge("a"), Edge("b")), Edge("c")),
+    Conj(Edge("a"), Conj(Edge("b"), Edge("c"))),
+    Plus(Concat(Edge("a"), Edge("b"))),
+    Plus(Plus(Edge("a"))),
+    BranchRight(Edge("a"), Union(Edge("b"), Edge("c"))),
+    BranchLeft(Concat(Edge("a"), Edge("b")), Edge("c")),
+    BranchLeft(Edge("a"), BranchLeft(Edge("b"), Edge("c"))),
+    BranchRight(Plus(Edge("a")), Edge("b")),
+    Plus(BranchRight(Edge("a"), Edge("b"))),
+    Repeat(Plus(Edge("a")), 2, 3),
+    Repeat(Repeat(Edge("a"), 1, 2), 3, 4),
+    AnnotatedConcat(Edge("a"), Edge("b"), frozenset({"N1"})),
+    Concat(AnnotatedConcat(Edge("a"), Edge("b"), frozenset({"X"})), Edge("c")),
+    Conj(Union(Edge("a"), Edge("b")), Edge("c")),
+]
+
+
+@pytest.mark.parametrize("expr", ROUND_TRIP_CASES, ids=lambda e: to_text(e))
+def test_round_trip(expr):
+    assert parse(to_text(expr)) == expr

@@ -1,0 +1,140 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.datasets.ldbc import (
+    LDBC_SCALE_FACTORS,
+    generate_ldbc,
+    ldbc_schema,
+    ldbc_store,
+)
+from repro.datasets.random_graphs import (
+    random_graph,
+    random_path_expr,
+    random_schema,
+)
+from repro.datasets.yago import generate_yago, yago_schema, yago_store
+from repro.schema.validation import check_consistency
+
+
+class TestLdbc:
+    def test_schema_shape(self):
+        schema = ldbc_schema()
+        assert len(schema.node_labels) == 11
+        assert "knows" in schema.edge_labels
+        assert schema.source_labels("isPartOf") == {"City", "Country"}
+        # the place hierarchy is acyclic at the label level (isPartOf is
+        # eliminable) while knows/replyOf/isSubclassOf self-loop
+        assert ("Person", "Person") in {
+            (e.source_label, e.target_label)
+            for e in schema.edges_for_label("knows")
+        }
+
+    def test_generated_graph_is_consistent(self):
+        schema = ldbc_schema()
+        graph = generate_ldbc(0.1)
+        report = check_consistency(graph, schema)
+        assert report.consistent, report.violations[:3]
+
+    def test_deterministic(self):
+        first = generate_ldbc(0.1, seed=9)
+        second = generate_ldbc(0.1, seed=9)
+        assert first.stats() == second.stats()
+        assert first.edge_pairs("knows") == second.edge_pairs("knows")
+
+    def test_seed_changes_graph(self):
+        first = generate_ldbc(0.1, seed=1)
+        second = generate_ldbc(0.1, seed=2)
+        assert first.edge_pairs("knows") != second.edge_pairs("knows")
+
+    def test_size_grows_with_scale_factor(self):
+        sizes = [generate_ldbc(sf).node_count for sf in (0.1, 1, 3)]
+        assert sizes == sorted(sizes)
+        assert sizes[0] < sizes[-1]
+
+    def test_scale_factor_constants(self):
+        assert LDBC_SCALE_FACTORS == (0.1, 0.3, 1, 3, 10, 30)
+
+    def test_store_has_alias_views(self):
+        schema = ldbc_schema()
+        graph = generate_ldbc(0.1)
+        store = ldbc_store(graph, schema)
+        organisation = store.node_ids("Organisation")
+        assert organisation == store.node_ids("Company") | store.node_ids(
+            "University"
+        )
+        assert store.node_ids("Place") == (
+            store.node_ids("City")
+            | store.node_ids("Country")
+            | store.node_ids("Continent")
+        )
+
+    def test_reply_trees_have_depth(self):
+        from repro.algebra.parser import parse
+        from repro.graph.evaluator import evaluate_path
+
+        graph = generate_ldbc(0.3)
+        closure = evaluate_path(graph, parse("replyOf+"))
+        single = evaluate_path(graph, parse("replyOf"))
+        assert len(closure) > len(single)  # chains longer than 1 exist
+
+
+class TestYago:
+    def test_generated_graph_is_consistent(self):
+        schema = yago_schema()
+        graph = generate_yago(0.2)
+        report = check_consistency(graph, schema)
+        assert report.consistent, report.violations[:3]
+
+    def test_schema_shape(self):
+        schema = yago_schema()
+        assert len(schema.node_labels) == 7
+        assert schema.stats()["edge_labels"] >= 20
+        # isLocatedIn label graph must be acyclic (closure-eliminable)
+        assert schema.source_labels("isLocatedIn") == {
+            "PROPERTY", "CITY", "REGION", "ORGANIZATION",
+        }
+        assert "COUNTRY" not in schema.source_labels("isLocatedIn")
+
+    def test_location_chain_composes(self):
+        from repro.algebra.parser import parse
+        from repro.graph.evaluator import evaluate_path
+
+        graph = generate_yago(0.2)
+        two_hop = evaluate_path(graph, parse("isLocatedIn/isLocatedIn"))
+        assert two_hop  # cities sit in regions in countries
+
+    def test_deterministic(self):
+        assert (
+            generate_yago(0.2, seed=3).stats()
+            == generate_yago(0.2, seed=3).stats()
+        )
+
+    def test_store_tables_cover_schema(self):
+        schema = yago_schema()
+        graph = generate_yago(0.1)
+        store = yago_store(graph, schema)
+        for label in schema.edge_labels:
+            assert store.has_table(label)
+        for label in schema.node_labels:
+            assert store.has_table(label)
+
+
+class TestRandomGenerators:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graph_conforms(self, seed):
+        schema = random_schema(seed)
+        graph = random_graph(schema, seed + 100)
+        report = check_consistency(graph, schema)
+        assert report.consistent
+
+    def test_every_edge_label_present_in_schema(self):
+        schema = random_schema(5)
+        for label in schema.edge_labels:
+            assert schema.edges_for_label(label)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_expr_uses_schema_labels(self, seed):
+        schema = random_schema(seed)
+        expr = random_path_expr(schema, seed + 200)
+        assert expr.edge_labels() <= schema.edge_labels

@@ -1,0 +1,143 @@
+"""Unit tests for the Fig. 5 semantics evaluator on the running example."""
+
+import pytest
+
+from repro.algebra.ast import (
+    AnnotatedConcat,
+    BranchLeft,
+    BranchRight,
+    Concat,
+    Conj,
+    Edge,
+    Plus,
+    Repeat,
+    Reverse,
+    Union,
+)
+from repro.algebra.parser import parse
+from repro.errors import QueryTimeout
+from repro.graph.evaluator import EvalBudget, evaluate_path
+from repro.graph.model import PropertyGraph
+
+
+class TestBasicSemantics:
+    """Node ids from Fig. 2: 1=PROPERTY 2,3=PERSON 4,6=CITY 5=REGION 7=COUNTRY."""
+
+    def test_edge_label(self, fig2_graph):
+        assert evaluate_path(fig2_graph, Edge("owns")) == {(2, 1)}
+
+    def test_unknown_label_is_empty(self, fig2_graph):
+        assert evaluate_path(fig2_graph, Edge("nothing")) == frozenset()
+
+    def test_reverse(self, fig2_graph):
+        assert evaluate_path(fig2_graph, Reverse(Edge("owns"))) == {(1, 2)}
+
+    def test_concat(self, fig2_graph):
+        # owns/isLocatedIn: John -> property -> Montbonnot
+        result = evaluate_path(fig2_graph, parse("owns/isLocatedIn"))
+        assert result == {(2, 6)}
+
+    def test_union(self, fig2_graph):
+        result = evaluate_path(fig2_graph, parse("owns | livesIn"))
+        assert result == {(2, 1), (2, 4), (3, 6)}
+
+    def test_conj(self, fig2_graph):
+        result = evaluate_path(fig2_graph, parse("isMarriedTo & isMarriedTo"))
+        assert result == {(2, 3), (3, 2)}
+
+    def test_conj_empty(self, fig2_graph):
+        assert evaluate_path(fig2_graph, parse("owns & livesIn")) == frozenset()
+
+
+class TestBranches:
+    def test_branch_right_is_existential(self, fig2_graph):
+        # livesIn[isLocatedIn]: both cities have outgoing isLocatedIn
+        result = evaluate_path(fig2_graph, parse("livesIn[isLocatedIn]"))
+        assert result == {(2, 4), (3, 6)}
+
+    def test_branch_right_filters(self, fig2_graph):
+        # isLocatedIn[dealsWith]: no node has outgoing dealsWith
+        assert (
+            evaluate_path(fig2_graph, parse("isLocatedIn[dealsWith]"))
+            == frozenset()
+        )
+
+    def test_branch_left(self, fig2_graph):
+        # [owns]livesIn: only John owns a property
+        result = evaluate_path(fig2_graph, parse("[owns]livesIn"))
+        assert result == {(2, 4)}
+
+    def test_paper_example_6(self, fig2_graph):
+        """Example 6: [owns]([isMarriedTo]livesIn) returns {(n2, n4)}."""
+        expr = BranchLeft(
+            Edge("owns"), BranchLeft(Edge("isMarriedTo"), Edge("livesIn"))
+        )
+        assert evaluate_path(fig2_graph, expr) == {(2, 4)}
+
+
+class TestClosures:
+    def test_transitive_closure(self, fig2_graph):
+        result = evaluate_path(fig2_graph, parse("isLocatedIn+"))
+        assert result == {
+            (1, 6), (6, 5), (4, 5), (5, 7),  # length 1
+            (1, 5), (6, 7), (4, 7),          # length 2
+            (1, 7),                           # length 3
+        }
+
+    def test_closure_on_cycle_terminates(self):
+        graph = PropertyGraph()
+        graph.add_node(1, "A")
+        graph.add_node(2, "A")
+        graph.add_edge(1, "e", 2)
+        graph.add_edge(2, "e", 1)
+        result = evaluate_path(graph, parse("e+"))
+        assert result == {(1, 2), (2, 1), (1, 1), (2, 2)}
+
+    def test_repeat_semantics(self, fig2_graph):
+        one_or_two = evaluate_path(fig2_graph, parse("isLocatedIn1..2"))
+        one = evaluate_path(fig2_graph, parse("isLocatedIn"))
+        two = evaluate_path(fig2_graph, parse("isLocatedIn/isLocatedIn"))
+        assert one_or_two == one | two
+
+    def test_repeat_lower_bound_two(self, fig2_graph):
+        result = evaluate_path(fig2_graph, parse("isLocatedIn2..2"))
+        assert result == {(1, 5), (6, 7), (4, 7)}
+
+    def test_plus_equals_unbounded_repeat_union(self, fig2_graph):
+        plus = evaluate_path(fig2_graph, parse("isLocatedIn+"))
+        bounded = evaluate_path(fig2_graph, parse("isLocatedIn1..4"))
+        assert plus == bounded  # the chain has depth 3
+
+
+class TestAnnotatedConcat:
+    def test_annotation_filters_junction(self, fig2_graph):
+        all_pairs = evaluate_path(
+            fig2_graph, parse("isLocatedIn/isLocatedIn")
+        )
+        via_city = evaluate_path(
+            fig2_graph,
+            AnnotatedConcat(
+                Edge("isLocatedIn"), Edge("isLocatedIn"), frozenset({"CITY"})
+            ),
+        )
+        via_region = evaluate_path(
+            fig2_graph,
+            AnnotatedConcat(
+                Edge("isLocatedIn"), Edge("isLocatedIn"), frozenset({"REGION"})
+            ),
+        )
+        assert via_city | via_region == all_pairs
+        assert via_city == {(1, 5)}
+        assert via_region == {(6, 7), (4, 7)}
+
+
+class TestBudget:
+    def test_expired_budget_raises(self, fig2_graph):
+        budget = EvalBudget(-1.0)  # already expired
+        with pytest.raises(QueryTimeout):
+            for _ in range(100_000):
+                evaluate_path(fig2_graph, parse("isLocatedIn+"), budget)
+
+    def test_none_budget_never_raises(self, fig2_graph):
+        budget = EvalBudget(None)
+        evaluate_path(fig2_graph, parse("isLocatedIn+"), budget)

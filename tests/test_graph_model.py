@@ -1,0 +1,92 @@
+"""Unit tests for the property-graph store."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.graph.model import PropertyGraph
+
+
+@pytest.fixture
+def graph():
+    g = PropertyGraph("t")
+    g.add_node(1, "A", {"name": "one"})
+    g.add_node(2, "A")
+    g.add_node(3, "B")
+    g.add_edge(1, "e", 2)
+    g.add_edge(2, "e", 3)
+    g.add_edge(1, "f", 3)
+    return g
+
+
+class TestNodes:
+    def test_label_lookup(self, graph):
+        assert graph.node_label(1) == "A"
+        assert graph.node_label(3) == "B"
+
+    def test_unknown_node(self, graph):
+        with pytest.raises(EvaluationError):
+            graph.node_label(99)
+
+    def test_relabel_rejected(self, graph):
+        with pytest.raises(EvaluationError):
+            graph.add_node(1, "B")
+
+    def test_readd_same_label_merges_properties(self, graph):
+        graph.add_node(1, "A", {"age": 3})
+        assert graph.node_properties(1) == {"name": "one", "age": 3}
+
+    def test_label_index(self, graph):
+        assert graph.nodes_with_label("A") == {1, 2}
+        assert graph.nodes_with_label("missing") == frozenset()
+
+    def test_nodes_with_labels_union(self, graph):
+        assert graph.nodes_with_labels(["A", "B"]) == {1, 2, 3}
+
+
+class TestEdges:
+    def test_edge_endpoints_must_exist(self, graph):
+        with pytest.raises(EvaluationError):
+            graph.add_edge(1, "e", 42)
+        with pytest.raises(EvaluationError):
+            graph.add_edge(42, "e", 1)
+
+    def test_duplicate_edges_ignored(self, graph):
+        before = graph.edge_count
+        graph.add_edge(1, "e", 2)
+        assert graph.edge_count == before
+
+    def test_adjacency(self, graph):
+        assert graph.successors(1, "e") == [2]
+        assert graph.predecessors(3, "e") == [2]
+        assert graph.successors(3, "e") == []
+
+    def test_edge_pairs(self, graph):
+        assert graph.edge_pairs("e") == {(1, 2), (2, 3)}
+
+    def test_has_edge(self, graph):
+        assert graph.has_edge(1, "e", 2)
+        assert not graph.has_edge(2, "e", 1)
+
+    def test_sources_and_targets(self, graph):
+        assert set(graph.sources_of("e")) == {1, 2}
+        assert set(graph.targets_of("e")) == {2, 3}
+
+    def test_out_degree(self, graph):
+        assert graph.out_degree(1, "e") == 1
+        assert graph.out_degree(1, "missing") == 0
+
+
+class TestStats:
+    def test_counts(self, graph):
+        assert graph.node_count == 3
+        assert graph.edge_count == 3
+
+    def test_label_counts(self, graph):
+        assert graph.label_counts() == {"A": 2, "B": 1}
+        assert graph.edge_label_counts() == {"e": 2, "f": 1}
+
+    def test_stats_dict(self, graph):
+        stats = graph.stats()
+        assert stats == {
+            "nodes": 3, "edges": 3, "node_labels": 2, "edge_labels": 2,
+        }

@@ -1,0 +1,171 @@
+"""Unit tests for the compatibility relation ⊢S ϕ : t (Fig. 8)."""
+
+import pytest
+
+from repro.algebra.ast import Edge, Reverse
+from repro.algebra.parser import parse
+from repro.algebra.printer import to_text
+from repro.algebra.ops import strip_annotations
+from repro.core.inference import InferenceEngine, compatible_triples
+from repro.errors import UnknownLabelError
+from repro.schema.triples import SchemaTriple
+
+
+def triples_text(triples):
+    return sorted(str(t) for t in triples)
+
+
+class TestBasicRules:
+    def test_tbasic_single(self, fig1_schema):
+        triples = compatible_triples(fig1_schema, parse("owns"))
+        assert triples == {SchemaTriple("PERSON", Edge("owns"), "PROPERTY")}
+
+    def test_tbasic_multi(self, fig1_schema):
+        triples = compatible_triples(fig1_schema, parse("isLocatedIn"))
+        assert {(t.source, t.target) for t in triples} == {
+            ("PROPERTY", "CITY"), ("CITY", "REGION"), ("REGION", "COUNTRY"),
+        }
+
+    def test_tminus_swaps_endpoints(self, fig1_schema):
+        triples = compatible_triples(fig1_schema, parse("-owns"))
+        assert triples == {
+            SchemaTriple("PROPERTY", Reverse(Edge("owns")), "PERSON")
+        }
+
+    def test_unknown_label_strict(self, fig1_schema):
+        with pytest.raises(UnknownLabelError):
+            compatible_triples(fig1_schema, parse("flies"))
+
+    def test_unknown_label_lenient(self, fig1_schema):
+        triples = compatible_triples(
+            fig1_schema, parse("flies"), strict_labels=False
+        )
+        assert triples == frozenset()
+
+
+class TestConcat:
+    def test_tconcat_chains_through_shared_label(self, fig1_schema):
+        triples = compatible_triples(fig1_schema, parse("owns/isLocatedIn"))
+        assert len(triples) == 1
+        (triple,) = triples
+        assert (triple.source, triple.target) == ("PERSON", "CITY")
+        # The junction is annotated with PROPERTY.
+        assert "{PROPERTY}" in to_text(triple.expr)
+
+    def test_tconcat_no_match_is_empty(self, fig1_schema):
+        # owns targets PROPERTY, dealsWith starts at COUNTRY: no chain.
+        assert compatible_triples(fig1_schema, parse("owns/dealsWith")) == frozenset()
+
+    def test_annotations_strip_back_to_original(self, fig1_schema):
+        expr = parse("livesIn/isLocatedIn")
+        for triple in compatible_triples(fig1_schema, expr):
+            assert strip_annotations(triple.expr) == expr
+
+
+class TestUnionConj:
+    def test_tunion_is_set_union(self, fig1_schema):
+        left = compatible_triples(fig1_schema, parse("owns"))
+        right = compatible_triples(fig1_schema, parse("livesIn"))
+        both = compatible_triples(fig1_schema, parse("owns | livesIn"))
+        assert both == left | right
+
+    def test_tconj_requires_matching_endpoints(self, fig1_schema):
+        triples = compatible_triples(
+            fig1_schema, parse("isMarriedTo & isMarriedTo")
+        )
+        assert {(t.source, t.target) for t in triples} == {("PERSON", "PERSON")}
+
+    def test_tconj_mismatch_is_empty(self, fig1_schema):
+        assert (
+            compatible_triples(fig1_schema, parse("owns & livesIn"))
+            == frozenset()
+        )
+
+
+class TestBranches:
+    def test_tbranch_right_keeps_main_endpoints(self, fig1_schema):
+        triples = compatible_triples(
+            fig1_schema, parse("livesIn[isLocatedIn]")
+        )
+        assert {(t.source, t.target) for t in triples} == {("PERSON", "CITY")}
+
+    def test_tbranch_right_requires_branch_from_target(self, fig1_schema):
+        # dealsWith starts at COUNTRY; livesIn ends at CITY: incompatible.
+        assert (
+            compatible_triples(fig1_schema, parse("livesIn[dealsWith]"))
+            == frozenset()
+        )
+
+    def test_tbranch_left_requires_branch_from_source(self, fig1_schema):
+        triples = compatible_triples(fig1_schema, parse("[owns]livesIn"))
+        assert {(t.source, t.target) for t in triples} == {("PERSON", "CITY")}
+
+    def test_tbranch_left_mismatch_empty(self, fig1_schema):
+        assert (
+            compatible_triples(fig1_schema, parse("[dealsWith]livesIn"))
+            == frozenset()
+        )
+
+
+class TestTable1:
+    """The paper's Table 1, row by row."""
+
+    def test_lvin(self, fig1_schema):
+        triples = compatible_triples(fig1_schema, parse("livesIn"))
+        assert triples == {SchemaTriple("PERSON", Edge("livesIn"), "CITY")}
+
+    def test_isl_plus_six_triples(self, fig1_schema):
+        triples = compatible_triples(fig1_schema, parse("isLocatedIn+"))
+        assert len(triples) == 6
+        endpoints = {(t.source, t.target) for t in triples}
+        assert endpoints == {
+            ("PROPERTY", "CITY"), ("PROPERTY", "REGION"), ("PROPERTY", "COUNTRY"),
+            ("CITY", "REGION"), ("CITY", "COUNTRY"), ("REGION", "COUNTRY"),
+        }
+        # No closure survives: the isLocatedIn label graph is acyclic.
+        assert not any(t.expr.is_recursive() for t in triples)
+
+    def test_dw_plus_keeps_closure(self, fig1_schema):
+        triples = compatible_triples(fig1_schema, parse("dealsWith+"))
+        assert triples == {
+            SchemaTriple("COUNTRY", parse("dealsWith+"), "COUNTRY")
+        }
+
+    def test_lvin_isl_plus(self, fig1_schema):
+        triples = compatible_triples(fig1_schema, parse("livesIn/isLocatedIn+"))
+        assert {(t.source, t.target) for t in triples} == {
+            ("PERSON", "REGION"), ("PERSON", "COUNTRY"),
+        }
+
+    def test_phi4_single_triple(self, fig1_schema):
+        triples = compatible_triples(
+            fig1_schema, parse("livesIn/isLocatedIn+/dealsWith+")
+        )
+        assert len(triples) == 1
+        (triple,) = triples
+        assert (triple.source, triple.target) == ("PERSON", "COUNTRY")
+        assert triple.expr.is_recursive()  # dealsWith+ kept
+
+
+class TestRepeat:
+    def test_repeat_expands(self, fig1_schema):
+        one_two = compatible_triples(fig1_schema, parse("isLocatedIn1..2"))
+        one = compatible_triples(fig1_schema, parse("isLocatedIn"))
+        two = compatible_triples(fig1_schema, parse("isLocatedIn/isLocatedIn"))
+        assert one_two == one | two
+
+
+class TestEngineState:
+    def test_memoisation_returns_same_object(self, fig1_schema):
+        engine = InferenceEngine(fig1_schema)
+        first = engine.triples(parse("owns/isLocatedIn"))
+        second = engine.triples(parse("owns/isLocatedIn"))
+        assert first is second
+
+    def test_plus_stats_recorded(self, fig1_schema):
+        engine = InferenceEngine(fig1_schema)
+        engine.triples(parse("isLocatedIn+"))
+        (stats,) = engine.plus_stats.values()
+        assert stats.fixed_paths == 6
+        assert stats.closure_kept == 0
+        assert stats.path_lengths == (1, 1, 1, 2, 2, 3)

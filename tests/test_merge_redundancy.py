@@ -1,0 +1,163 @@
+"""Unit tests for triple merging (Def. 9) and redundancy removal (§3.2.2)."""
+
+import pytest
+
+from repro.algebra.ast import AnnotatedConcat, Concat, Edge, Plus
+from repro.algebra.parser import parse
+from repro.algebra.printer import to_text
+from repro.core.inference import compatible_triples
+from repro.core.merge import MergedTriple, merge_triples
+from repro.core.redundancy import (
+    possible_sources,
+    possible_targets,
+    remove_redundant_annotations,
+)
+from repro.schema.triples import SchemaTriple
+
+
+def annotated(left, right, *labels):
+    return AnnotatedConcat(left, right, frozenset(labels))
+
+
+class TestMerge:
+    def test_example_11(self):
+        """Paper Example 11: merging two a+/b/d triples."""
+        a_plus = Plus(Edge("a"))
+        t1 = SchemaTriple(
+            "m",
+            annotated(annotated(a_plus, Edge("b"), "n"), Edge("d"), "l"),
+            "p",
+        )
+        t2 = SchemaTriple(
+            "m",
+            annotated(annotated(a_plus, Edge("b"), "q"), Edge("d"), "r"),
+            "l",
+        )
+        (merged,) = merge_triples([t1, t2])
+        assert merged.sources == {"m"}
+        assert merged.targets == {"p", "l"}
+        text = to_text(merged.expr)
+        assert "{n,q}" in text
+        assert "{l,r}" in text
+
+    def test_different_underlying_exprs_not_merged(self):
+        t1 = SchemaTriple("A", Edge("a"), "B")
+        t2 = SchemaTriple("A", Edge("b"), "B")
+        assert len(merge_triples([t1, t2])) == 2
+
+    def test_deterministic_order(self):
+        t1 = SchemaTriple("A", Edge("b"), "B")
+        t2 = SchemaTriple("A", Edge("a"), "B")
+        merged = merge_triples([t2, t1])
+        assert [to_text(m.expr) for m in merged] == ["a", "b"]
+
+    def test_merge_on_real_inference_output(self, fig1_schema):
+        triples = compatible_triples(fig1_schema, parse("isLocatedIn+"))
+        merged = merge_triples(triples)
+        # Three distinct underlying lengths: isL, isL/isL, isL/isL/isL.
+        assert len(merged) == 3
+        by_text = {to_text(m.expr).count("isLocatedIn"): m for m in merged}
+        assert by_text[1].sources == {"PROPERTY", "CITY", "REGION"}
+        assert by_text[3].sources == {"PROPERTY"}
+
+    def test_merged_annotation_is_union(self, fig1_schema):
+        triples = compatible_triples(fig1_schema, parse("isLocatedIn+"))
+        merged = merge_triples(triples)
+        two_step = next(
+            m for m in merged if to_text(m.expr).count("isLocatedIn") == 2
+        )
+        assert isinstance(two_step.expr, AnnotatedConcat)
+        assert two_step.expr.labels == {"CITY", "REGION"}
+
+
+class TestPossibleLabels:
+    def test_edge(self, fig1_schema):
+        assert possible_sources(fig1_schema, Edge("owns")) == {"PERSON"}
+        assert possible_targets(fig1_schema, Edge("owns")) == {"PROPERTY"}
+
+    def test_reverse_swaps(self, fig1_schema):
+        assert possible_sources(fig1_schema, parse("-owns")) == {"PROPERTY"}
+        assert possible_targets(fig1_schema, parse("-owns")) == {"PERSON"}
+
+    def test_concat_uses_outer_ends(self, fig1_schema):
+        expr = parse("owns/isLocatedIn")
+        assert possible_sources(fig1_schema, expr) == {"PERSON"}
+        assert possible_targets(fig1_schema, expr) == {
+            "CITY", "REGION", "COUNTRY",
+        }
+
+    def test_union_unions(self, fig1_schema):
+        expr = parse("owns | livesIn")
+        assert possible_targets(fig1_schema, expr) == {"PROPERTY", "CITY"}
+
+    def test_conj_intersects(self, fig1_schema):
+        expr = parse("livesIn & livesIn")
+        assert possible_targets(fig1_schema, expr) == {"CITY"}
+
+    def test_branch_right_target_needs_branch_source(self, fig1_schema):
+        expr = parse("isLocatedIn[dealsWith]")
+        assert possible_targets(fig1_schema, expr) == {"COUNTRY"}
+
+    def test_plus_preserves_edge_ends(self, fig1_schema):
+        expr = parse("isLocatedIn+")
+        assert possible_sources(fig1_schema, expr) == {
+            "PROPERTY", "CITY", "REGION",
+        }
+
+
+class TestRedundancyRemoval:
+    def test_example_13(self, fig1_schema):
+        """Example 13: {CITY} and {COUNTRY} drop, {REGION} stays, both
+        endpoint constraints drop."""
+        triples = compatible_triples(
+            fig1_schema, parse("livesIn/isLocatedIn+/dealsWith+")
+        )
+        (merged,) = merge_triples(triples)
+        cleaned = remove_redundant_annotations(fig1_schema, merged)
+        assert cleaned.sources is None
+        assert cleaned.targets is None
+        text = to_text(cleaned.expr)
+        assert "{REGION}" in text
+        assert "{CITY}" not in text
+        assert "{COUNTRY}" not in text
+
+    def test_keeps_endpoint_when_informative(self, fig1_schema):
+        # isLocatedIn anchored at PROPERTY: sources {PROPERTY} is a strict
+        # subset of all isLocatedIn sources, so the constraint stays.
+        triple = MergedTriple(
+            frozenset({"PROPERTY"}), Edge("isLocatedIn"), frozenset({"CITY"})
+        )
+        cleaned = remove_redundant_annotations(fig1_schema, triple)
+        assert cleaned.sources == {"PROPERTY"}
+        assert cleaned.targets == {"CITY"}
+
+    def test_drops_full_endpoint_sets(self, fig1_schema):
+        triple = MergedTriple(
+            frozenset({"PROPERTY", "CITY", "REGION"}),
+            Edge("isLocatedIn"),
+            frozenset({"CITY", "REGION", "COUNTRY"}),
+        )
+        cleaned = remove_redundant_annotations(fig1_schema, triple)
+        assert cleaned.sources is None
+        assert cleaned.targets is None
+
+    def test_one_sided_rule_left(self, fig1_schema):
+        # {CITY} after livesIn: implied by the left step alone.
+        expr = annotated(Edge("livesIn"), Edge("isLocatedIn"), "CITY")
+        triple = MergedTriple(None, expr, None)
+        cleaned = remove_redundant_annotations(fig1_schema, triple)
+        assert cleaned.expr == Concat(Edge("livesIn"), Edge("isLocatedIn"))
+
+    def test_one_sided_rule_right(self, fig1_schema):
+        # {COUNTRY} before dealsWith: implied by the right step alone.
+        expr = annotated(Edge("isLocatedIn"), Edge("dealsWith"), "COUNTRY")
+        triple = MergedTriple(None, expr, None)
+        cleaned = remove_redundant_annotations(fig1_schema, triple)
+        assert not cleaned.expr.is_annotated()
+
+    def test_informative_annotation_kept(self, fig1_schema):
+        # {REGION} between two isLocatedIn steps: neither side implies it.
+        expr = annotated(Edge("isLocatedIn"), Edge("isLocatedIn"), "REGION")
+        triple = MergedTriple(None, expr, None)
+        cleaned = remove_redundant_annotations(fig1_schema, triple)
+        assert cleaned.expr.is_annotated()

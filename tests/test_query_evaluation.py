@@ -1,0 +1,82 @@
+"""Unit tests for homomorphism-semantics CQT/UCQT evaluation."""
+
+import pytest
+
+from repro.graph.model import PropertyGraph
+from repro.query.parser import parse_query
+from repro.query.evaluation import evaluate_cqt, evaluate_ucqt
+
+
+@pytest.fixture
+def diamond():
+    """1 -e-> 2 -f-> 4, 1 -e-> 3 -f-> 4, labels L/M/R."""
+    g = PropertyGraph()
+    g.add_node(1, "L")
+    g.add_node(2, "M")
+    g.add_node(3, "M2")
+    g.add_node(4, "R")
+    g.add_edge(1, "e", 2)
+    g.add_edge(1, "e", 3)
+    g.add_edge(2, "f", 4)
+    g.add_edge(3, "f", 4)
+    return g
+
+
+def run(graph, text):
+    return evaluate_ucqt(graph, parse_query(text))
+
+
+class TestJoins:
+    def test_chain_join(self, diamond):
+        assert run(diamond, "x, z <- (x, e, y) && (y, f, z)") == {(1, 4)}
+
+    def test_projection_keeps_middle(self, diamond):
+        assert run(diamond, "x, y <- (x, e, y) && (y, f, z)") == {
+            (1, 2), (1, 3),
+        }
+
+    def test_label_atom_filters(self, diamond):
+        assert run(diamond, "x, y <- (x, e, y) && M(y)") == {(1, 2)}
+
+    def test_label_set_atom(self, diamond):
+        assert run(diamond, "x, y <- (x, e, y) && {M,M2}(y)") == {(1, 2), (1, 3)}
+
+    def test_unsatisfiable_atom(self, diamond):
+        assert run(diamond, "x, y <- (x, e, y) && R(y)") == frozenset()
+
+    def test_shared_variable_as_filter(self, diamond):
+        # both relations constrain y
+        result = run(diamond, "y, y2 <- (x, e, y) && (y, f, y2) && M2(y)")
+        assert result == {(3, 4)}
+
+    def test_same_variable_both_ends(self):
+        g = PropertyGraph()
+        g.add_node(1, "A")
+        g.add_node(2, "A")
+        g.add_edge(1, "loop", 1)
+        g.add_edge(1, "loop", 2)
+        assert run(g, "x, x2 <- (x, loop, x) && (x, loop, x2)") == {
+            (1, 1), (1, 2),
+        }
+
+    def test_disconnected_relations_cartesian(self, diamond):
+        result = run(diamond, "x, a <- (x, e, y) && (a, f, b)")
+        assert result == {(1, 2), (1, 3)}
+
+    def test_union_of_disjuncts(self, diamond):
+        result = run(diamond, "x, y <- (x, e, y) || (x, f, y)")
+        assert result == {(1, 2), (1, 3), (2, 4), (3, 4)}
+
+    def test_empty_relation_short_circuits(self, diamond):
+        assert run(diamond, "x, y <- (x, e, y) && (y, nothing, z)") == frozenset()
+
+
+class TestAgainstPaperExample(object):
+    def test_query_c1(self, fig1_schema, fig2_graph):
+        """Example 5's C1: people who own property and live somewhere
+        reachable via livesIn/isLocatedIn+."""
+        result = run(
+            fig2_graph,
+            "y <- (y, livesIn/isLocatedIn+, m) && (y, owns, z)",
+        )
+        assert result == {(2,)}

@@ -1,0 +1,134 @@
+"""Unit tests for the CQT/UCQT model and the workload query parser."""
+
+import pytest
+
+from repro.algebra.ast import Edge, Plus
+from repro.errors import EvaluationError, ParseError
+from repro.query.model import CQT, UCQT, LabelAtom, Relation, single_relation_query
+from repro.query.parser import parse_query
+
+
+class TestModel:
+    def test_head_variable_must_occur(self):
+        with pytest.raises(EvaluationError):
+            CQT(head=("x", "zz"), relations=(Relation("x", Edge("e"), "y"),))
+
+    def test_duplicate_head_rejected(self):
+        with pytest.raises(EvaluationError):
+            CQT(head=("x", "x"), relations=(Relation("x", Edge("e"), "x"),))
+
+    def test_atom_on_unknown_variable_rejected(self):
+        with pytest.raises(EvaluationError):
+            CQT(
+                head=("x",),
+                relations=(Relation("x", Edge("e"), "y"),),
+                atoms=(LabelAtom("z", frozenset({"A"})),),
+            )
+
+    def test_body_variables(self):
+        cqt = CQT(
+            head=("x",),
+            relations=(
+                Relation("x", Edge("e"), "y"),
+                Relation("y", Edge("f"), "z"),
+            ),
+        )
+        assert cqt.body == {"y", "z"}
+
+    def test_labels_for_intersects_atoms(self):
+        cqt = CQT(
+            head=("x",),
+            relations=(Relation("x", Edge("e"), "y"),),
+            atoms=(
+                LabelAtom("x", frozenset({"A", "B"})),
+                LabelAtom("x", frozenset({"B", "C"})),
+            ),
+        )
+        assert cqt.labels_for("x") == {"B"}
+        assert cqt.labels_for("y") is None
+
+    def test_is_recursive(self):
+        cqt = CQT(head=("x",), relations=(Relation("x", Plus(Edge("e")), "y"),))
+        assert cqt.is_recursive()
+
+    def test_union_compatibility_enforced(self):
+        cqt = CQT(head=("x", "y"), relations=(Relation("x", Edge("e"), "y"),))
+        with pytest.raises(EvaluationError):
+            UCQT(head=("a", "b"), disjuncts=(cqt,))
+
+    def test_empty_ucqt(self):
+        query = UCQT(head=("x", "y"), disjuncts=())
+        assert query.is_empty
+        assert "FALSE" in str(query)
+
+    def test_single_relation_query(self):
+        query = single_relation_query(Edge("e"))
+        assert query.head == ("x1", "x2")
+        assert len(query.disjuncts) == 1
+
+    def test_empty_label_atom_rejected(self):
+        with pytest.raises(EvaluationError):
+            LabelAtom("x", frozenset())
+
+
+class TestParser:
+    def test_simple(self):
+        query = parse_query("x1, x2 <- (x1, knows, x2)")
+        assert query.head == ("x1", "x2")
+        (cqt,) = query.disjuncts
+        assert cqt.relations == (Relation("x1", Edge("knows"), "x2"),)
+
+    def test_conjunction_of_terms(self):
+        query = parse_query(
+            "x <- (x, owns, z) && (x, livesIn, m) && PERSON(x)"
+        )
+        (cqt,) = query.disjuncts
+        assert len(cqt.relations) == 2
+        assert cqt.atoms == (LabelAtom("x", frozenset({"PERSON"})),)
+
+    def test_label_set_atom(self):
+        query = parse_query("x <- (x, e, y) && {A,B}(y)")
+        (cqt,) = query.disjuncts
+        assert cqt.atoms[0].labels == {"A", "B"}
+
+    def test_union_of_disjuncts(self):
+        query = parse_query("x, y <- (x, a, y) || (x, b, y)")
+        assert len(query.disjuncts) == 2
+
+    def test_path_with_internal_parens_and_commas(self):
+        query = parse_query(
+            "x1, x2 <- (x1, knows1..3/(isL | (workAt | studyAt)/isL), x2)"
+        )
+        (cqt,) = query.disjuncts
+        assert cqt.relations[0].expr.edge_labels() == {
+            "knows", "isL", "workAt", "studyAt",
+        }
+
+    def test_annotated_path_in_query(self):
+        query = parse_query("x, y <- (x, knows/{Organisation}isL, y)")
+        (cqt,) = query.disjuncts
+        assert cqt.relations[0].expr.is_annotated()
+
+    def test_missing_arrow(self):
+        with pytest.raises(ParseError):
+            parse_query("(x, e, y)")
+
+    def test_no_head(self):
+        with pytest.raises(ParseError):
+            parse_query(" <- (x, e, y)")
+
+    def test_disjunct_without_relation(self):
+        with pytest.raises(ParseError):
+            parse_query("x <- PERSON(x)")
+
+    def test_bad_variable(self):
+        with pytest.raises(ParseError):
+            parse_query("x <- (1x, e, y)")
+
+    def test_unbalanced(self):
+        with pytest.raises(ParseError):
+            parse_query("x <- (x, e, y")
+
+    def test_garbage_term(self):
+        with pytest.raises(ParseError):
+            parse_query("x <- (x, e, y) && what")

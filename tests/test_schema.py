@@ -1,0 +1,151 @@
+"""Unit tests for the graph-schema model, builder and triples (Def. 1, 5)."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownLabelError
+from repro.schema.builder import SchemaBuilder, yago_example_schema
+from repro.schema.model import (
+    GraphSchema,
+    PropertySpec,
+    SchemaEdge,
+    SchemaNode,
+    value_data_type,
+)
+from repro.schema.triples import basic_triples, triples_for_edge_label
+from repro.algebra.ast import Edge
+
+
+class TestPropertySpec:
+    def test_unknown_data_type_rejected(self):
+        with pytest.raises(SchemaError):
+            PropertySpec("age", "Quantity")
+
+    def test_accepts_matching_values(self):
+        assert PropertySpec("name", "String").accepts("John")
+        assert PropertySpec("age", "Int").accepts(28)
+        assert PropertySpec("score", "Float").accepts(3.5)
+        assert PropertySpec("alive", "Bool").accepts(True)
+
+    def test_bool_is_not_int(self):
+        assert not PropertySpec("age", "Int").accepts(True)
+
+    def test_rejects_mismatched_values(self):
+        assert not PropertySpec("age", "Int").accepts("28")
+
+    def test_value_data_type(self):
+        assert value_data_type(5) == "Int"
+        assert value_data_type(True) == "Bool"
+        assert value_data_type(2.5) == "Float"
+        assert value_data_type("x") == "String"
+
+    def test_value_data_type_rejects_collections(self):
+        with pytest.raises(SchemaError):
+            value_data_type([1, 2])
+
+
+class TestSchemaNode:
+    def test_duplicate_property_keys_rejected(self):
+        with pytest.raises(SchemaError):
+            SchemaNode(
+                "P",
+                (PropertySpec("name", "String"), PropertySpec("name", "Int")),
+            )
+
+    def test_property_map(self):
+        node = SchemaNode("P", (PropertySpec("name", "String"),))
+        assert set(node.property_map()) == {"name"}
+
+
+class TestGraphSchema:
+    def test_duplicate_node_labels_rejected(self):
+        with pytest.raises(SchemaError):
+            GraphSchema([SchemaNode("A"), SchemaNode("A")], [])
+
+    def test_edge_with_unknown_endpoint_rejected(self):
+        with pytest.raises(UnknownLabelError):
+            GraphSchema([SchemaNode("A")], [SchemaEdge("A", "e", "B")])
+
+    def test_label_sets_disjoint(self):
+        # LN ∩ LE = ∅ (paper §2.1)
+        with pytest.raises(SchemaError):
+            GraphSchema(
+                [SchemaNode("A")], [SchemaEdge("A", "A", "A")]
+            )
+
+    def test_parallel_identical_edges_collapse(self):
+        schema = GraphSchema(
+            [SchemaNode("A"), SchemaNode("B")],
+            [SchemaEdge("A", "e", "B"), SchemaEdge("A", "e", "B")],
+        )
+        assert len(list(schema.edges())) == 1
+
+    def test_parallel_distinct_edges_kept(self):
+        schema = GraphSchema(
+            [SchemaNode("A"), SchemaNode("B")],
+            [SchemaEdge("A", "e", "B"), SchemaEdge("B", "e", "A")],
+        )
+        assert len(list(schema.edges())) == 2
+
+    def test_source_and_target_labels(self, fig1_schema):
+        assert fig1_schema.source_labels("isLocatedIn") == {
+            "PROPERTY", "CITY", "REGION",
+        }
+        assert fig1_schema.target_labels("isLocatedIn") == {
+            "CITY", "REGION", "COUNTRY",
+        }
+
+    def test_unknown_node_lookup(self, fig1_schema):
+        with pytest.raises(UnknownLabelError):
+            fig1_schema.node("PLANET")
+
+    def test_stats(self, fig1_schema):
+        stats = fig1_schema.stats()
+        assert stats["node_labels"] == 5
+        assert stats["schema_edges"] == 7
+
+
+class TestBuilder:
+    def test_duplicate_node_rejected(self):
+        builder = SchemaBuilder().node("A")
+        with pytest.raises(SchemaError):
+            builder.node("A")
+
+    def test_edges_bulk(self):
+        schema = (
+            SchemaBuilder()
+            .node("A")
+            .node("B")
+            .edges(("A", "e", "B"), ("B", "f", "A"))
+            .build()
+        )
+        assert schema.edge_labels == {"e", "f"}
+
+    def test_fig1_shape(self, fig1_schema):
+        """The Fig. 1 running example: 5 node labels, 7 edges."""
+        assert fig1_schema.node_labels == {
+            "PERSON", "CITY", "PROPERTY", "REGION", "COUNTRY",
+        }
+        assert len(list(fig1_schema.edges())) == 7
+        # isMarriedTo is a loop on PERSON (paper Example 1)
+        (marriage,) = fig1_schema.edges_for_label("isMarriedTo")
+        assert marriage.source_label == marriage.target_label == "PERSON"
+
+
+class TestBasicTriples:
+    def test_count_matches_fig1(self, fig1_schema):
+        """Example 9: Tb(S) contains seven basic triples."""
+        assert len(basic_triples(fig1_schema)) == 7
+
+    def test_triple_contents(self, fig1_schema):
+        triples = triples_for_edge_label(fig1_schema, "owns")
+        assert len(triples) == 1
+        (triple,) = triples
+        assert triple.source == "PERSON"
+        assert triple.expr == Edge("owns")
+        assert triple.target == "PROPERTY"
+
+    def test_multi_triple_label(self, fig1_schema):
+        assert len(triples_for_edge_label(fig1_schema, "isLocatedIn")) == 3
+
+    def test_unknown_label_yields_empty(self, fig1_schema):
+        assert triples_for_edge_label(fig1_schema, "nope") == frozenset()

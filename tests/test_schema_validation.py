@@ -1,0 +1,99 @@
+"""Unit tests for schema–database consistency (Def. 3)."""
+
+import pytest
+
+from repro.errors import ConsistencyError
+from repro.graph.model import PropertyGraph
+from repro.schema.builder import SchemaBuilder
+from repro.schema.validation import check_consistency
+
+
+@pytest.fixture
+def simple_schema():
+    return (
+        SchemaBuilder()
+        .node("PERSON", name="String", age="Int")
+        .node("CITY", name="String")
+        .edge("PERSON", "livesIn", "CITY")
+        .build()
+    )
+
+
+def test_fig2_consistent_with_fig1(fig1_schema, fig2_graph):
+    """Example 3: the Fig. 2 database conforms to the Fig. 1 schema."""
+    report = check_consistency(fig2_graph, fig1_schema)
+    assert report.consistent
+    assert report.nodes_checked == 7
+    assert report.edges_checked == 9
+
+
+def test_unknown_node_label(simple_schema):
+    graph = PropertyGraph()
+    graph.add_node(1, "ROBOT")
+    report = check_consistency(graph, simple_schema)
+    assert not report.consistent
+    assert "unknown label" in report.violations[0]
+
+
+def test_edge_without_schema_counterpart(simple_schema):
+    graph = PropertyGraph()
+    graph.add_node(1, "CITY")
+    graph.add_node(2, "CITY")
+    graph.add_edge(1, "livesIn", 2)  # CITY -livesIn-> CITY not in schema
+    report = check_consistency(graph, simple_schema)
+    assert not report.consistent
+    assert "no schema counterpart" in report.violations[0]
+
+
+def test_reversed_edge_direction_is_violation(simple_schema):
+    graph = PropertyGraph()
+    graph.add_node(1, "PERSON")
+    graph.add_node(2, "CITY")
+    graph.add_edge(2, "livesIn", 1)  # wrong direction
+    report = check_consistency(graph, simple_schema)
+    assert not report.consistent
+
+
+def test_undeclared_property(simple_schema):
+    graph = PropertyGraph()
+    graph.add_node(1, "CITY", {"mayor": "Ann"})
+    report = check_consistency(graph, simple_schema)
+    assert not report.consistent
+    assert "undeclared property" in report.violations[0]
+
+
+def test_property_type_mismatch(simple_schema):
+    graph = PropertyGraph()
+    graph.add_node(1, "PERSON", {"age": "old"})
+    report = check_consistency(graph, simple_schema)
+    assert not report.consistent
+    assert "schema requires Int" in report.violations[0]
+
+
+def test_missing_properties_allowed(simple_schema):
+    """The paper allows zero or more properties per node (§2.3)."""
+    graph = PropertyGraph()
+    graph.add_node(1, "PERSON")  # no properties at all
+    report = check_consistency(graph, simple_schema)
+    assert report.consistent
+
+
+def test_max_violations_cap(simple_schema):
+    graph = PropertyGraph()
+    for node_id in range(50):
+        graph.add_node(node_id, "ROBOT")
+    report = check_consistency(graph, simple_schema, max_violations=5)
+    assert len(report.violations) == 5
+
+
+def test_raise_if_inconsistent(simple_schema):
+    graph = PropertyGraph()
+    graph.add_node(1, "ROBOT")
+    report = check_consistency(graph, simple_schema)
+    with pytest.raises(ConsistencyError):
+        report.raise_if_inconsistent()
+
+
+def test_raise_noop_when_consistent(simple_schema):
+    report = check_consistency(PropertyGraph(), simple_schema)
+    report.raise_if_inconsistent()

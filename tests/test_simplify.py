@@ -1,0 +1,112 @@
+"""Unit tests for the R1-R5 path simplification rules (Fig. 6)."""
+
+import pytest
+
+from repro.algebra.parser import parse
+from repro.algebra.printer import to_text
+from repro.core.simplify import simplification_trace, simplify
+from repro.datasets.random_graphs import random_graph, random_schema
+from repro.graph.evaluator import evaluate_path
+
+
+class TestR1:
+    def test_nested_plus(self):
+        assert simplify(parse("(a+)+")) == parse("a+")
+
+    def test_triple_nested(self):
+        assert simplify(parse("((a+)+)+")) == parse("a+")
+
+    def test_plus_of_repeat_from_one(self):
+        assert simplify(parse("(a1..3)+")) == parse("a+")
+
+
+class TestR2R4:
+    def test_r2_branch_right_closure(self):
+        assert simplify(parse("a[b+]")) == parse("a[b]")
+
+    def test_r2_with_closed_main(self):
+        # The paper's printed form phi1+[phi2+]
+        assert simplify(parse("a+[b+]")) == parse("a+[b]")
+
+    def test_r4_branch_left_closure(self):
+        assert simplify(parse("[b+]a")) == parse("[b]a")
+
+    def test_branch_repeat_from_one(self):
+        assert simplify(parse("a[b1..3]")) == parse("a[b]")
+
+    def test_branch_repeat_from_two_kept(self):
+        # phi{2..3} in a branch requires a length-2 path: not removable.
+        assert simplify(parse("a[b2..3]")) == parse("a[b2..3]")
+
+
+class TestR3R5:
+    def test_r3_concat_in_branch(self):
+        assert simplify(parse("a[b/c]")) == parse("a[b[c]]")
+
+    def test_r3_deep_chain_fully_nested(self):
+        assert simplify(parse("a[b/c/d]")) == parse("a[b[c[d]]]")
+
+    def test_branch_commutes_with_leading_step(self):
+        # (x/y)[z] -> x/(y[z])
+        assert simplify(parse("(x/y)[z]")) == parse("x/(y[z])")
+
+    def test_left_branch_commutes(self):
+        # [z](x/y) -> ([z]x)/y
+        assert simplify(parse("[z](x/y)")) == parse("([z]x)/y")
+
+    def test_r5_concat_in_left_branch(self):
+        assert simplify(parse("[b/c]a")) == parse("[b[c]]a")
+
+    def test_combined_r3_r2(self):
+        assert simplify(parse("a[b/c+]")) == parse("a[b[c]]")
+
+
+class TestFig7:
+    def test_fig7_example(self):
+        """Fig. 7's ϕred. The paper prints isMarriedTo *without* its
+        closure in ϕopt; dropping a closure in main position inside a
+        branch is not semantics-preserving (see core/simplify.py), so the
+        sound fixpoint keeps it."""
+        phi_red = parse(
+            "(((owns[isMarriedTo+/livesIn/dealsWith+])/(isLocatedIn+)+)+)+"
+        )
+        expected = parse(
+            "(owns[isMarriedTo+[livesIn[dealsWith]]]/isLocatedIn+)+"
+        )
+        assert simplify(phi_red) == expected
+
+    def test_trace_records_steps(self):
+        trace = simplification_trace(parse("((a+)+)+"))
+        assert len(trace) >= 2
+        assert trace[0] == parse("((a+)+)+")
+        assert trace[-1] == parse("a+")
+
+
+class TestFixpoint:
+    def test_idempotent(self):
+        for text in ["a[b/c+]", "(a+)+", "[x+/y]z", "a/b/c"]:
+            once = simplify(parse(text))
+            assert simplify(once) == once
+
+    def test_noop_on_simple(self):
+        expr = parse("a/b+/c")
+        assert simplify(expr) == expr
+
+
+class TestSemanticsPreservation:
+    """R1-R5 must preserve Fig. 5 semantics on arbitrary graphs."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_expressions(self, seed):
+        schema = random_schema(seed)
+        graph = random_graph(schema, seed + 1000, max_nodes=15, max_edges=40)
+        from repro.datasets.random_graphs import random_path_expr
+
+        expr = random_path_expr(schema, seed + 2000, max_depth=4)
+        simplified = simplify(expr)
+        before = evaluate_path(graph, expr)
+        after = evaluate_path(graph, simplified)
+        assert before == after, (
+            f"simplification changed semantics: {to_text(expr)} -> "
+            f"{to_text(simplified)}"
+        )

@@ -1,0 +1,152 @@
+"""Unit tests for SQL generation (RRA2SQL) and the SQLite backend."""
+
+import pytest
+
+from repro.algebra.parser import parse
+from repro.errors import QueryTimeout, TranslationError
+from repro.graph.evaluator import evaluate_path
+from repro.query.evaluation import evaluate_ucqt
+from repro.query.parser import parse_query
+from repro.ra.translate import TranslationContext, ucqt_to_ra
+from repro.sql.dialects import view_statement
+from repro.sql.generate import ra_to_sql, ucqt_to_sql
+from repro.sql.sqlite_backend import SqliteBackend
+
+
+@pytest.fixture(scope="module")
+def backend(request):
+    ldbc_small = request.getfixturevalue("ldbc_small")
+    _, _, store = ldbc_small
+    backend = SqliteBackend(store)
+    yield backend
+    backend.close()
+
+
+class TestGeneration:
+    def test_flat_join_shape(self, ldbc_small):
+        """Fig. 15: the non-recursive query compiles to one flat join."""
+        _, _, store = ldbc_small
+        query = parse_query("SRC, TRG <- (SRC, knows/workAt/isLocatedIn, TRG)")
+        sql = ucqt_to_sql(query, store)
+        assert sql.count("SELECT") == 1
+        assert "JOIN workAt" in sql
+        assert "JOIN isLocatedIn" in sql
+        assert sql.startswith("SELECT DISTINCT")
+
+    def test_annotation_becomes_semijoin(self, ldbc_small):
+        _, _, store = ldbc_small
+        query = parse_query(
+            "SRC, TRG <- (SRC, knows/workAt/{Organisation}isLocatedIn, TRG)"
+        )
+        sql = ucqt_to_sql(query, store)
+        assert "JOIN Organisation" in sql
+
+    def test_recursive_cte(self, ldbc_small):
+        _, _, store = ldbc_small
+        query = parse_query("x1, x2 <- (x1, replyOf+, x2)")
+        sql = ucqt_to_sql(query, store)
+        assert sql.startswith("WITH RECURSIVE")
+        assert "UNION" in sql
+
+    def test_cte_referenced_directly_in_step(self, ldbc_small):
+        """SQLite requires the recursive table at the top level of the
+        recursive select's FROM clause."""
+        _, _, store = ldbc_small
+        query = parse_query("x1, x2 <- (x1, replyOf+, x2)")
+        sql = ucqt_to_sql(query, store)
+        # the step must join the CTE table name directly
+        assert "FROM X" in sql
+
+    def test_shared_closure_emits_one_cte(self, ldbc_small):
+        _, _, store = ldbc_small
+        ctx = TranslationContext()
+        query = parse_query(
+            "x1, x2 <- (x1, knows+/workAt, x2) || (x1, knows+/studyAt, x2)"
+        )
+        sql = ucqt_to_sql(query, store, ctx)
+        assert sql.count(") AS (") == 1  # a single CTE definition
+
+    def test_union_query(self, ldbc_small):
+        _, _, store = ldbc_small
+        query = parse_query("x1, x2 <- (x1, knows, x2) || (x1, likes, x2)")
+        sql = ucqt_to_sql(query, store)
+        assert "UNION" in sql
+
+
+class TestDialects:
+    def test_sqlite_view(self):
+        sql = view_statement("sqlite", "v", "SELECT 1")
+        assert sql.startswith("CREATE VIEW v AS")
+
+    def test_mysql_view(self):
+        sql = view_statement("mysql", "v", "SELECT 1")
+        assert sql.startswith("CREATE OR REPLACE VIEW v AS")
+
+    def test_postgresql_recursive_view(self):
+        sql = view_statement(
+            "postgresql", "v", "WITH RECURSIVE\nx(Sr) AS (SELECT 1)\nSELECT 1"
+        )
+        assert "CREATE TEMPORARY RECURSIVE VIEW v" in sql
+
+    def test_postgresql_plain_view(self):
+        sql = view_statement("postgresql", "v", "SELECT 1")
+        assert "CREATE TEMPORARY VIEW v" in sql
+
+    def test_unknown_dialect(self):
+        with pytest.raises(TranslationError):
+            view_statement("oracle", "v", "SELECT 1")
+
+
+class TestExecution:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "x1, x2 <- (x1, knows, x2)",
+            "x1, x2 <- (x1, -hasCreator, x2)",
+            "x1, x2 <- (x1, knows/workAt/isLocatedIn, x2)",
+            "x1, x2 <- (x1, replyOf+, x2)",
+            "x1, x2 <- (x1, -replyOf+, x2)",
+            "x1, x2 <- (x1, knows1..2/-hasCreator, x2)",
+            "x1, x2 <- (x1, likes[hasTag], x2)",
+            "x1, x2 <- (x1, [containerOf]hasMember, x2)",
+            "x1, x2 <- (x1, knows & (studyAt/-studyAt), x2)",
+            "x1, x2 <- (x1, replyOf+, x2) && Post(x2)",
+            "x1 <- (x1, knows/knows, x1)",
+        ],
+    )
+    def test_sqlite_matches_reference(self, ldbc_small, backend, text):
+        _, graph, _ = ldbc_small
+        query = parse_query(text)
+        expected = evaluate_ucqt(graph, query)
+        assert backend.execute_ucqt(query) == expected
+
+    def test_empty_query_returns_nothing(self, backend):
+        from repro.query.model import UCQT
+
+        assert backend.execute_ucqt(UCQT(("x",), ())) == frozenset()
+
+    def test_alias_view_loaded(self, backend):
+        rows = backend.execute_sql("SELECT COUNT(*) FROM Organisation")
+        ((count,),) = rows
+        company = backend.execute_sql("SELECT COUNT(*) FROM Company")
+        university = backend.execute_sql("SELECT COUNT(*) FROM University")
+        assert count == next(iter(company))[0] + next(iter(university))[0]
+
+    def test_timeout_interrupts(self, ldbc_small):
+        _, _, store = ldbc_small
+        local = SqliteBackend(store)
+        query = parse_query("x1, x2 <- (x1, knows+/knows+/knows+, x2)")
+        with pytest.raises(QueryTimeout):
+            local.execute_ucqt(query, timeout_seconds=0.0001)
+        local.close()
+
+    def test_explain_query_plan(self, ldbc_small, backend):
+        _, _, store = ldbc_small
+        sql = ucqt_to_sql(parse_query("x1, x2 <- (x1, knows, x2)"), store)
+        plan = backend.explain_query_plan(sql)
+        assert "knows" in plan.lower()
+
+    def test_context_manager(self, ldbc_small):
+        _, _, store = ldbc_small
+        with SqliteBackend(store) as handle:
+            handle.execute_sql("SELECT 1")

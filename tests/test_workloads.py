@@ -1,0 +1,118 @@
+"""Unit tests for the Table 4 and YAGO workloads."""
+
+import pytest
+
+from repro.core.rewriter import rewrite_query
+from repro.datasets.ldbc import ldbc_schema
+from repro.datasets.yago import yago_schema
+from repro.workloads.ldbc_queries import (
+    LDBC_QUERIES,
+    ldbc_queries,
+    non_recursive_queries,
+    recursive_queries,
+)
+from repro.workloads.yago_queries import YAGO_QUERIES, yago_queries
+
+
+class TestLdbcWorkload:
+    def test_thirty_queries(self):
+        assert len(LDBC_QUERIES) == 30
+
+    def test_split_twelve_eighteen(self):
+        """Table 4: 12 non-recursive, 18 recursive."""
+        assert len(non_recursive_queries()) == 12
+        assert len(recursive_queries()) == 18
+
+    def test_all_parse(self):
+        for workload_query in LDBC_QUERIES:
+            assert workload_query.query.head == ("x1", "x2")
+
+    def test_recursive_flag_matches_expression(self):
+        for workload_query in LDBC_QUERIES:
+            assert workload_query.query.is_recursive() == workload_query.recursive
+
+    def test_labels_exist_in_schema(self):
+        schema = ldbc_schema()
+        for workload_query in LDBC_QUERIES:
+            for cqt in workload_query.query.disjuncts:
+                for relation in cqt.relations:
+                    for label in relation.expr.edge_labels():
+                        assert schema.has_edge_label(label), (
+                            workload_query.qid, label,
+                        )
+
+    def test_unique_ids(self):
+        ids = [q.qid for q in LDBC_QUERIES]
+        assert len(set(ids)) == len(ids)
+
+    def test_third_party_count(self):
+        """Paper §5.1.3: 22 of the 30 queries are third-party."""
+        third_party = [q for q in LDBC_QUERIES if q.source != "proposed"]
+        assert len(third_party) == 22
+
+    def test_paper_revert_set_is_subset_of_ours(self):
+        """§5.2: all ten queries the paper reports as reverting also
+        revert under our (finer-grained) schema."""
+        schema = ldbc_schema()
+        reverted = {
+            q.qid for q in LDBC_QUERIES if rewrite_query(q.query, schema).reverted
+        }
+        paper = {
+            "IC2", "IC6", "IC7", "IC9", "IC13",
+            "Y7", "BI11", "BI9", "BI20", "LSQB6",
+        }
+        assert paper <= reverted
+
+    def test_never_reverting_queries(self):
+        """Queries whose rewriting must add value under our schema."""
+        schema = ldbc_schema()
+        for qid in ("IC1", "IC11", "Y1", "Y2", "Y4", "BI3", "LSQB1"):
+            workload_query = next(q for q in LDBC_QUERIES if q.qid == qid)
+            assert not rewrite_query(workload_query.query, schema).reverted, qid
+
+
+class TestYagoWorkload:
+    def test_eighteen_recursive_queries(self):
+        """§5.1.3: all 18 YAGO queries are recursive."""
+        assert len(YAGO_QUERIES) == 18
+        assert all(q.recursive for q in YAGO_QUERIES)
+
+    def test_only_q7_reverts(self):
+        """§5.2: exactly one query (q7) reverts to its initial form."""
+        schema = yago_schema()
+        reverted = [
+            q.qid for q in YAGO_QUERIES if rewrite_query(q.query, schema).reverted
+        ]
+        assert reverted == ["q7"]
+
+    def test_sixteen_eliminations(self):
+        """§5.3/Table 6: transitive closure eliminated in 16 of 18."""
+        schema = yago_schema()
+        eliminated = sum(
+            1
+            for q in YAGO_QUERIES
+            if rewrite_query(q.query, schema).stats.closures_eliminated > 0
+        )
+        assert eliminated == 16
+
+    def test_q13_partial_elimination(self):
+        """q13's closure ranges over a mixed label graph: fixed paths are
+        generated but the closure survives."""
+        schema = yago_schema()
+        result = rewrite_query(
+            next(q for q in YAGO_QUERIES if q.qid == "q13").query, schema
+        )
+        assert not result.reverted
+        assert result.stats.closures_eliminated == 0
+        assert result.stats.surviving_fixed_lengths
+
+    def test_labels_exist_in_schema(self):
+        schema = yago_schema()
+        for workload_query in YAGO_QUERIES:
+            for cqt in workload_query.query.disjuncts:
+                for relation in cqt.relations:
+                    assert relation.expr.edge_labels() <= schema.edge_labels
+
+    def test_accessors_return_fresh_lists(self):
+        assert ldbc_queries() is not ldbc_queries()
+        assert yago_queries() == list(YAGO_QUERIES)
