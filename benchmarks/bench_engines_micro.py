@@ -1,8 +1,10 @@
 """Micro-benchmarks: the substrate operations the experiments stand on.
 
 Not a paper artefact per se, but the calibration data behind every figure:
-transitive-closure evaluation on each engine, hash-join throughput, the
-inference engine, and SQLite round-trips.
+transitive-closure evaluation on each engine, the inference engine, and
+prepared-query execution through the unified ``GraphSession`` layer —
+plans are compiled once via ``session.prepare`` so each benchmark times
+pure execution on its substrate (the warm path production traffic hits).
 """
 
 import pytest
@@ -11,12 +13,13 @@ from repro.algebra.parser import parse
 from repro.core.inference import InferenceEngine
 from repro.datasets.yago import yago_schema
 from repro.graph.evaluator import evaluate_path
-from repro.query.parser import parse_query
-from repro.ra.evaluate import evaluate_term
-from repro.ra.optimizer import optimize_term
-from repro.ra.translate import TranslationContext, path_to_ra, ucqt_to_ra
 
 CLOSURE = parse("isLocatedIn+")
+CLOSURE_QUERY = "x1, x2 <- (x1, isLocatedIn+, x2)"
+ANCHORED_QUERY = (
+    "x1, x2 <- (x1, owns/isLocatedIn, y) && (y, isLocatedIn, z)"
+    " && (z, isLocatedIn, x2)"
+)
 
 
 def test_closure_reference_engine(benchmark, yago_context):
@@ -25,27 +28,23 @@ def test_closure_reference_engine(benchmark, yago_context):
 
 
 def test_closure_ra_engine(benchmark, yago_context):
-    term = path_to_ra(CLOSURE)
-    _cols, rows = benchmark(evaluate_term, term, yago_context.store)
+    prepared = yago_context.session.prepare(CLOSURE_QUERY, "ra", rewrite=False)
+    rows = benchmark(prepared.execute)
     assert rows
 
 
 def test_closure_sqlite(benchmark, yago_context):
-    query = parse_query("x1, x2 <- (x1, isLocatedIn+, x2)")
-    result = benchmark(yago_context.sqlite.execute_ucqt, query)
-    assert result
+    prepared = yago_context.session.prepare(
+        CLOSURE_QUERY, "sqlite", rewrite=False
+    )
+    rows = benchmark(prepared.execute)
+    assert rows
 
 
 def test_anchored_chain_ra_engine(benchmark, yago_context):
     """The schema-rewritten shape: anchored fixed-length joins."""
-    query = parse_query(
-        "x1, x2 <- (x1, owns/isLocatedIn, y) && (y, isLocatedIn, z)"
-        " && (z, isLocatedIn, x2)"
-    )
-    term = optimize_term(
-        ucqt_to_ra(query, TranslationContext()), yago_context.store
-    )
-    _cols, rows = benchmark(evaluate_term, term, yago_context.store)
+    prepared = yago_context.session.prepare(ANCHORED_QUERY, "ra", rewrite=False)
+    rows = benchmark(prepared.execute)
     assert rows
 
 
@@ -61,9 +60,18 @@ def test_inference_engine_throughput(benchmark):
 
 
 def test_pattern_engine_anchored_expansion(benchmark, yago_context):
-    from repro.gdb.engine import PatternEngine
+    prepared = yago_context.session.prepare(
+        "x1, x2 <- (x1, owns/isLocatedIn+, x2)", "gdb", rewrite=False
+    )
+    rows = benchmark(prepared.execute)
+    assert rows
 
-    engine = PatternEngine(yago_context.graph)
-    query = parse_query("x1, x2 <- (x1, owns/isLocatedIn+, x2)")
-    result = benchmark(engine.evaluate_ucqt, query)
-    assert result
+
+def test_session_execute_warm_path(benchmark, yago_context):
+    """Full ``session.execute`` with hot caches: rewrite + plan lookups
+    plus execution — the per-request cost of a cached production query."""
+    session = yago_context.session
+    session.execute(CLOSURE_QUERY, "ra")  # warm both cache layers
+    rows = benchmark(session.execute, CLOSURE_QUERY, "ra")
+    assert rows
+    assert session.cache_stats["plan"].hits > 0

@@ -96,3 +96,18 @@ def test_sqlite_engine_ic11(benchmark, ldbc_sf1_context):
         rounds=3,
         iterations=1,
     )
+
+
+def test_session_cross_backend_ic11(ldbc_sf1_context):
+    """The session façade agrees with itself across every backend on a
+    real workload query (the engine-layer variant of the row-agreement
+    check above)."""
+    ic11 = next(q for q in LDBC_QUERIES if q.qid == "IC11")
+    session = ldbc_sf1_context.session
+    results = {
+        backend: session.execute(ic11.query, backend)
+        for backend in ("ra", "sqlite", "gdb")
+    }
+    assert len(set(results.values())) == 1, {
+        backend: len(rows) for backend, rows in results.items()
+    }

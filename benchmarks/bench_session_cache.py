@@ -1,0 +1,73 @@
+"""Session cache layers: cold vs warm prepared-query latency.
+
+The engine layer's pitch is that repeated queries pay only for
+execution: schema rewriting and backend planning are cached on
+``(query, schema fingerprint, options)``. These benchmarks measure the
+three request profiles a serving deployment sees —
+
+* **cold**   — empty caches: rewrite + plan + execute,
+* **warm**   — hot caches: two lookups + execute,
+* **prepared** — a held ``PreparedQuery``: execute only,
+
+for a recursive YAGO workload query on the µ-RA and SQLite backends.
+"""
+
+import pytest
+
+from repro.engine import GraphSession
+
+#: A recursive query the rewriter meaningfully transforms (closure
+#: elimination), so the cold path includes real inference work.
+QUERY = "x1, x2 <- (x1, owns/isLocatedIn+, x2)"
+
+
+@pytest.fixture(scope="module")
+def fresh_session(yago_context):
+    """A session sharing the suite's store but owning its own caches."""
+    session = GraphSession(
+        yago_context.graph, yago_context.schema, store=yago_context.store
+    )
+    yield session
+    session.close()
+
+
+@pytest.mark.parametrize("backend", ["ra", "sqlite"])
+def test_cold_query(benchmark, fresh_session, backend):
+    """Empty caches every round: the first-request latency."""
+
+    def cold():
+        fresh_session.clear_caches()
+        return fresh_session.execute(QUERY, backend)
+
+    rows = benchmark.pedantic(cold, rounds=5, iterations=1)
+    assert rows
+
+
+@pytest.mark.parametrize("backend", ["ra", "sqlite"])
+def test_warm_query(benchmark, fresh_session, backend):
+    """Hot caches: rewrite + plan come from the LRU layers."""
+    fresh_session.execute(QUERY, backend)
+    rows = benchmark(fresh_session.execute, QUERY, backend)
+    assert rows
+    stats = fresh_session.cache_stats
+    assert stats["rewrite"].hits > 0 and stats["plan"].hits > 0
+
+
+@pytest.mark.parametrize("backend", ["ra", "sqlite"])
+def test_prepared_query(benchmark, fresh_session, backend):
+    """A held PreparedQuery: pure execution, no cache traffic."""
+    prepared = fresh_session.prepare(QUERY, backend)
+    rows = benchmark(prepared.execute)
+    assert rows
+
+
+def test_cache_skips_rewrite_and_planning(fresh_session):
+    """Correctness side of the benchmark: a repeated query misses neither
+    layer, and results are identical cold vs warm."""
+    fresh_session.clear_caches()
+    cold_rows = fresh_session.execute(QUERY)
+    warm_rows = fresh_session.execute(QUERY)
+    assert cold_rows == warm_rows
+    stats = fresh_session.cache_stats
+    assert stats["rewrite"].misses == 1 and stats["rewrite"].hits == 1
+    assert stats["plan"].misses == 1 and stats["plan"].hits == 1

@@ -11,14 +11,14 @@ Run:  python examples/aggregation_analytics.py
 
 import time
 
-from repro import parse_query, rewrite_query
-from repro.datasets.yago import generate_yago, yago_schema
+from repro import parse_query
+from repro.datasets.yago import yago_session
 from repro.query.aggregates import count, degree_histogram, top_k
 
 
 def main() -> None:
-    schema = yago_schema()
-    graph = generate_yago(scale=0.6)
+    session = yago_session(scale=0.6)
+    graph = session.graph
     print(f"YAGO-style graph: {graph.node_count:,} nodes, "
           f"{graph.edge_count:,} edges")
     print()
@@ -26,7 +26,7 @@ def main() -> None:
     # "How many location facts are derivable, and which countries
     #  concentrate the most reachable entities?"
     query = parse_query("x1, x2 <- (x1, isLocatedIn+, x2) && COUNTRY(x2)")
-    result = rewrite_query(query, schema)
+    result = session.rewrite(query)
     print(f"query: {query}")
     print(f"rewritten into {len(result.query.disjuncts)} disjunct(s); "
           f"closures eliminated: {result.stats.closures_eliminated}")
@@ -43,7 +43,7 @@ def main() -> None:
 
     # Degree distribution of ownership reach (owns/isLocatedIn+).
     reach = parse_query("x1, x2 <- (x1, owns/isLocatedIn+, x2)")
-    enriched = rewrite_query(reach, schema).query
+    enriched = session.rewrite(reach).query
     histogram = degree_histogram(graph, enriched, "x1")
     print("owners by number of distinct reachable places:")
     for size in sorted(histogram):

@@ -8,7 +8,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro import (
-    evaluate_ucqt,
+    GraphSession,
     parse_query,
     rewrite_query,
     yago_example_graph,
@@ -56,18 +56,23 @@ def main() -> None:
     print(f"closures eliminated: {result.stats.closures_eliminated}")
     print()
 
-    # --- step 4: both versions agree on the data --------------------------
-    baseline = evaluate_ucqt(graph, query)
-    enriched = evaluate_ucqt(graph, result.query)
-    assert baseline == enriched
-    print(f"results agree: {sorted(baseline)} (empty: Fig. 2 has no dealsWith edges)")
+    # --- step 4: one session, every backend agrees ------------------------
+    session = GraphSession(graph, schema)
+    baseline = session.execute(query, "reference", rewrite=False)
+    for backend in session.backends:
+        assert session.execute(query, backend) == baseline
+    print(f"all backends {session.backends} agree: {sorted(baseline)} "
+          "(empty: Fig. 2 has no dealsWith edges)")
 
     # A query with observable results on the Fig. 2 graph:
-    locate = parse_query("x1, x2 <- (x1, livesIn/isLocatedIn+, x2)")
-    rewritten = rewrite_query(locate, schema)
-    baseline = evaluate_ucqt(graph, locate)
-    assert baseline == evaluate_ucqt(graph, rewritten.query)
-    print(f"livesIn/isLocatedIn+ pairs: {sorted(baseline)}")
+    locate = "x1, x2 <- (x1, livesIn/isLocatedIn+, x2)"
+    pairs = session.execute(locate)
+    for backend in session.backends:
+        assert session.execute(locate, backend) == pairs
+    print(f"livesIn/isLocatedIn+ pairs: {sorted(pairs)}")
+    stats = session.cache_stats
+    print(f"session caches: rewrite {stats['rewrite'].hits} hit(s), "
+          f"plan {stats['plan'].hits} hit(s)")
 
 
 if __name__ == "__main__":

@@ -8,11 +8,8 @@ showing the schema-enriched rewriting speeding each of them up.
 Run:  python examples/social_network_analysis.py
 """
 
-import time
-
-from repro import parse_query, rewrite_query
 from repro.bench.runner import BenchmarkContext
-from repro.datasets.ldbc import generate_ldbc, ldbc_schema, ldbc_store
+from repro.datasets.ldbc import ldbc_session
 from repro.workloads.ldbc_queries import LDBC_QUERIES
 
 
@@ -26,15 +23,13 @@ SHOWCASE = {
 
 
 def main() -> None:
-    schema = ldbc_schema()
-    graph = generate_ldbc(scale_factor=3)
-    store = ldbc_store(graph, schema)
+    session = ldbc_session(scale_factor=3)
+    graph = session.graph
     print(f"LDBC-SNB SF3: {graph.node_count:,} nodes, {graph.edge_count:,} edges")
     print()
 
-    context = BenchmarkContext(
-        schema, graph, store, scale_factor=3, timeout_seconds=60.0,
-        repetitions=2,
+    context = BenchmarkContext.from_session(
+        session, scale_factor=3, timeout_seconds=60.0, repetitions=2
     )
 
     header = f"{'query':7} {'engine':8} {'baseline':>10} {'schema':>10} {'speedup':>8}"
@@ -58,9 +53,13 @@ def main() -> None:
 
     # How the rewriter transformed one of them:
     ic11 = next(q for q in LDBC_QUERIES if q.qid == "IC11")
-    result = rewrite_query(ic11.query, schema)
+    result = session.rewrite(ic11.query)
     print("IC11 before:", ic11.query)
     print("IC11 after: ", result.query)
+    stats = session.cache_stats
+    print(f"\nsession caches: rewrite {stats['rewrite'].hits} hits / "
+          f"{stats['rewrite'].misses} misses, plan {stats['plan'].hits} "
+          f"hits / {stats['plan'].misses} misses")
 
 
 if __name__ == "__main__":

@@ -3,72 +3,66 @@
 Takes the paper's plan-level example pair Q1/Q2 plus a recursive query,
 emits the SQL for the three dialects of footnote 6 and the Cypher text,
 executes the SQLite dialect for real, and prints the cost-annotated plan
-comparison of Fig. 17.
+comparison of Fig. 17 — all through one ``GraphSession``, whose
+``explain`` renders each backend's plan with that substrate's printer.
 
 Run:  python examples/sql_and_cypher_targets.py
 """
 
-from repro import parse_query, rewrite_query
-from repro.datasets.ldbc import generate_ldbc, ldbc_schema, ldbc_store
+from repro import parse_query
+from repro.datasets.ldbc import ldbc_session
 from repro.gdb.cypher import cypher_expressible, to_cypher
-from repro.ra.optimizer import optimize_term
-from repro.ra.plan import explain
-from repro.ra.translate import TranslationContext, ucqt_to_ra
 from repro.sql.dialects import view_statement
 from repro.sql.generate import ucqt_to_sql
-from repro.sql.sqlite_backend import SqliteBackend
 
 
 def main() -> None:
-    schema = ldbc_schema()
-    graph = generate_ldbc(scale_factor=1)
-    store = ldbc_store(graph, schema)
+    session = ldbc_session(scale_factor=1)
 
     baseline = parse_query("SRC, TRG <- (SRC, knows/workAt/isLocatedIn, TRG)")
     enriched = parse_query(
         "SRC, TRG <- (SRC, knows/workAt/{Organisation}isLocatedIn, TRG)"
     )
 
-    print("=== Fig. 15 — generated SQL ===")
+    print("=== Fig. 15 — generated SQL (sqlite backend plans) ===")
     for label, query in (("Q1 baseline", baseline), ("Q2 enriched", enriched)):
         print(f"-- {label}")
-        print(ucqt_to_sql(query, store))
+        plan = session.prepare(query, "sqlite", rewrite=False).plan
+        print(plan.sql)
         print()
 
     print("=== footnote 6 — recursive view dialects ===")
     recursive = parse_query("x1, x2 <- (x1, replyOf+/hasCreator, x2)")
-    sql = ucqt_to_sql(recursive, store)
+    sql = ucqt_to_sql(recursive, session.store)
     for dialect in ("sqlite", "postgresql", "mysql"):
         print(f"-- {dialect}")
         print(view_statement(dialect, "thread_authors", sql).splitlines()[0], "...")
     print()
 
     print("=== executing on SQLite (the real backend) ===")
-    with SqliteBackend(store) as backend:
-        for label, query in (("Q1", baseline), ("Q2", enriched)):
-            rows = backend.execute_ucqt(query)
-            print(f"{label}: {len(rows)} rows")
-        recursive_rows = backend.execute_ucqt(recursive)
-        print(f"replyOf+/hasCreator: {len(recursive_rows)} rows")
+    for label, query in (("Q1", baseline), ("Q2", enriched)):
+        rows = session.execute(query, "sqlite", rewrite=False)
+        print(f"{label}: {len(rows)} rows")
+    recursive_rows = session.execute(recursive, "sqlite", rewrite=False)
+    print(f"replyOf+/hasCreator: {len(recursive_rows)} rows")
     print()
 
     print("=== Fig. 16 — Cypher ===")
     print("-- Q1 baseline")
     print(to_cypher(baseline))
-    rewritten = rewrite_query(
-        parse_query("SRC, TRG <- (SRC, knows/workAt/isLocatedIn, TRG)"), schema
-    )
+    rewritten = session.rewrite(baseline)
     print("-- rewriter output (expressible:",
           cypher_expressible(rewritten.query), ")")
     print(to_cypher(rewritten.query))
     print()
 
-    print("=== Fig. 17 — cost-annotated plans ===")
+    print("=== Fig. 17 — cost-annotated plans (ra backend explain) ===")
     for label, query in (("Q2 enriched", enriched), ("Q1 baseline", baseline)):
-        term = optimize_term(ucqt_to_ra(query, TranslationContext()), store)
         print(f"-- {label}")
-        print(explain(term, store))
+        print(session.explain(query, "ra", rewrite=False))
         print()
+
+    session.close()
 
 
 if __name__ == "__main__":

@@ -1,11 +1,41 @@
-"""Setuptools shim.
+"""Packaging metadata and console entry points.
 
 The build environment has no network and no ``wheel`` package, so modern
-PEP 517 editable installs (which shell out to ``bdist_wheel``) fail. This
-shim lets ``pip install -e . --no-build-isolation`` fall back to the legacy
-``setup.py develop`` code path. All metadata lives in ``pyproject.toml``.
+PEP 517 editable installs (which shell out to ``bdist_wheel``) can fail;
+``pip install -e . --no-build-isolation`` falls back to the legacy
+``setup.py develop`` code path, which this file fully supports. After
+installing, the CLI is available as ``repro`` / ``repro-bench`` — and
+``python -m repro`` works from a source checkout with ``PYTHONPATH=src``
+or from any install.
 """
 
-from setuptools import setup
+import pathlib
+import re
 
-setup()
+from setuptools import find_packages, setup
+
+
+def _version() -> str:
+    """Single source of truth: __version__ in src/repro/__init__.py."""
+    text = (pathlib.Path(__file__).parent / "src/repro/__init__.py").read_text()
+    return re.search(r'^__version__ = "([^"]+)"', text, re.MULTILINE).group(1)
+
+
+setup(
+    name="repro-schema-query-opt",
+    version=_version(),
+    description=(
+        "Reproduction of 'Schema-Based Query Optimisation for Graph "
+        "Databases' (SIGMOD 2025): UCQT rewriting, µ-RA translation and "
+        "a unified multi-backend execution engine"
+    ),
+    packages=find_packages(where="src"),
+    package_dir={"": "src"},
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+            "repro-bench = repro.cli:main",
+        ]
+    },
+)

@@ -8,19 +8,28 @@ the paper's evaluation — a recursive relational algebra engine, a
 ``WITH RECURSIVE`` SQL backend (executed on SQLite), and a graph-pattern
 engine with Cypher emission.
 
+All substrates sit behind one façade, :class:`~repro.engine.session.
+GraphSession`: construct it once from a graph and a schema, and it owns
+the derived artefacts (relational store, SQLite database, pattern engine)
+plus two cache layers (schema rewriting, per-backend plans) keyed on the
+schema fingerprint.
+
 Quickstart::
 
-    from repro import (
-        parse_path, parse_query, rewrite_query, evaluate_ucqt,
-        yago_example_schema, yago_example_graph,
-    )
+    from repro import GraphSession, yago_example_graph, yago_example_schema
 
-    schema = yago_example_schema()
-    graph = yago_example_graph()
-    query = parse_query("x1, x2 <- (x1, livesIn/isLocatedIn+/dealsWith+, x2)")
-    result = rewrite_query(query, schema)
-    print(result.query)            # the schema-enriched UCQT
-    evaluate_ucqt(graph, result.query)
+    session = GraphSession(yago_example_graph(), yago_example_schema())
+    query = "x1, x2 <- (x1, livesIn/isLocatedIn+/dealsWith+, x2)"
+    rows = session.execute(query)                      # µ-RA engine
+    assert rows == session.execute(query, "sqlite")    # same on SQLite
+    assert rows == session.execute(query, "gdb")       # and on patterns
+    print(session.explain(query))                      # Fig. 17 plan
+    prepared = session.prepare(query, "sqlite")        # skip rewrite+plan
+    prepared.execute()
+
+The lower-level pieces (``parse_query``, ``rewrite_query``,
+``evaluate_ucqt``, the translators) remain importable for pipeline-level
+experimentation.
 """
 
 from repro.algebra import parse as parse_path
@@ -32,6 +41,13 @@ from repro.core import (
     merge_triples,
     rewrite_query,
     simplify,
+)
+from repro.engine import (
+    Backend,
+    GraphSession,
+    PreparedQuery,
+    available_backends,
+    register_backend,
 )
 from repro.errors import (
     ConsistencyError,
@@ -48,9 +64,14 @@ from repro.query import CQT, UCQT, evaluate_ucqt, parse_query
 from repro.schema import GraphSchema, SchemaBuilder, check_consistency
 from repro.schema.builder import yago_example_schema
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "GraphSession",
+    "PreparedQuery",
+    "Backend",
+    "register_backend",
+    "available_backends",
     "parse_path",
     "path_to_text",
     "parse_query",

@@ -1,7 +1,15 @@
-"""Command-line entry point: ``repro-bench <experiment> [--full]``.
+"""Command-line entry point (``python -m repro`` or the installed scripts).
 
-Experiments: table3, table5, table6, fig12, fig13, fig14, fig15, tables78,
-reversion, ablation, all.
+Two subcommands:
+
+* ``bench <experiment> [--full] [--engine E]`` — reproduce the paper's
+  tables and figures (experiments: table3, table5, table6, fig12, fig13,
+  fig14, fig15, tables78, reversion, ablation, all). For backwards
+  compatibility the ``bench`` word may be omitted: ``repro-bench table6``
+  still works.
+* ``query "<ucqt>" [--dataset D] [--backend B] [--explain] ...`` — run an
+  ad-hoc UCQT through a :class:`~repro.engine.session.GraphSession` on
+  any registered backend, optionally printing the chosen plan.
 """
 
 from __future__ import annotations
@@ -9,42 +17,34 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.bench import experiments as exp
+EXPERIMENTS = (
+    "table3", "table5", "table6", "fig12", "fig13", "fig14",
+    "fig15", "tables78", "reversion", "ablation", "all",
+)
+
+DATASETS = ("yago", "ldbc", "yago-example")
 
 
-def _run_tables78(full: bool) -> exp.ExperimentResult:
+def _backend_choices() -> tuple[str, ...]:
+    """Registered backend names (includes user-registered backends)."""
+    from repro.engine import available_backends
+
+    return available_backends()
+
+
+def _run_tables78(full: bool):
+    from repro.bench import experiments as exp
+
     scale_factors = exp.FULL_SCALE_FACTORS if full else exp.QUICK_SCALE_FACTORS
     fig13 = exp.fig13_ldbc(scale_factors=scale_factors)
     pooled = [run for runs in fig13.data["runs_by_sf"].values() for run in runs]
     return exp.table7_table8(pooled)
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro-bench",
-        description="Reproduce the paper's tables and figures.",
-    )
-    parser.add_argument(
-        "experiment",
-        choices=[
-            "table3", "table5", "table6", "fig12", "fig13", "fig14",
-            "fig15", "tables78", "reversion", "ablation", "all",
-        ],
-    )
-    parser.add_argument(
-        "--full",
-        action="store_true",
-        help="use all six LDBC scale factors (slow) instead of the quick four",
-    )
-    parser.add_argument(
-        "--engine",
-        default="ra",
-        choices=["ra", "sqlite", "gdb", "reference"],
-        help="execution engine for runtime experiments",
-    )
-    args = parser.parse_args(argv)
-    scale_factors = exp.FULL_SCALE_FACTORS if args.full else exp.QUICK_SCALE_FACTORS
+def _run_bench(args: argparse.Namespace) -> int:
+    from repro.bench import experiments as exp
 
+    scale_factors = exp.FULL_SCALE_FACTORS if args.full else exp.QUICK_SCALE_FACTORS
     runners = {
         "table3": lambda: exp.table3_datasets(scale_factors),
         "table5": lambda: exp.table5_feasibility(scale_factors, engine=args.engine),
@@ -63,6 +63,122 @@ def main(argv: list[str] | None = None) -> int:
         print(result.text)
         print()
     return 0
+
+
+def _load_session(dataset: str, scale: float):
+    if dataset == "ldbc":
+        from repro.datasets.ldbc import ldbc_session
+
+        return ldbc_session(scale_factor=scale)
+    if dataset == "yago":
+        from repro.datasets.yago import yago_session
+
+        return yago_session(scale=scale)
+    from repro.engine.session import GraphSession
+    from repro.graph.model import yago_example_graph
+    from repro.schema.builder import yago_example_schema
+
+    return GraphSession(yago_example_graph(), yago_example_schema())
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+
+    try:
+        return _run_query_inner(args)
+    except ReproError as error:
+        print(f"repro query: error: {error}", file=sys.stderr)
+        return 1
+
+
+def _run_query_inner(args: argparse.Namespace) -> int:
+    session = _load_session(args.dataset, args.scale)
+    with session:
+        rewrite = not args.baseline
+        if args.explain:
+            print(session.explain(args.text, args.backend, rewrite=rewrite))
+            print()
+        if rewrite:
+            result = session.rewrite(args.text)
+            if not result.reverted:
+                print(f"-- rewritten into {len(result.query.disjuncts)} "
+                      f"disjunct(s): {result.query}")
+        rows = session.execute(
+            args.text,
+            args.backend,
+            timeout_seconds=args.timeout,
+            rewrite=rewrite,
+        )
+        for row in sorted(rows)[: args.limit]:
+            print(row)
+        shown = min(len(rows), args.limit)
+        print(f"-- {len(rows)} row(s) on backend {args.backend!r} "
+              f"({shown} shown)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Legacy spelling: ``repro-bench table6`` (or flag-first
+    # ``repro-bench --full table6``) without the subcommand word.
+    if (
+        argv
+        and argv[0] not in ("bench", "query")
+        and any(arg in EXPERIMENTS for arg in argv)
+    ):
+        argv = ["bench"] + argv
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Schema-based query optimisation for graph databases.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    bench = subparsers.add_parser(
+        "bench", help="reproduce the paper's tables and figures"
+    )
+    bench.add_argument("experiment", choices=EXPERIMENTS)
+    bench.add_argument(
+        "--full",
+        action="store_true",
+        help="use all six LDBC scale factors (slow) instead of the quick four",
+    )
+    bench.add_argument(
+        "--engine",
+        default="ra",
+        choices=_backend_choices(),
+        help="execution engine for runtime experiments",
+    )
+
+    query = subparsers.add_parser(
+        "query", help="run a UCQT through a GraphSession"
+    )
+    query.add_argument("text", help='e.g. "x1, x2 <- (x1, isLocatedIn+, x2)"')
+    query.add_argument("--dataset", choices=DATASETS, default="yago-example")
+    query.add_argument(
+        "--scale", type=float, default=0.5,
+        help="dataset scale factor (ignored for yago-example)",
+    )
+    query.add_argument(
+        "--backend", default="ra", choices=_backend_choices(),
+    )
+    query.add_argument(
+        "--baseline", action="store_true",
+        help="skip the schema rewriter (run the query verbatim)",
+    )
+    query.add_argument(
+        "--explain", action="store_true",
+        help="print the backend's plan before executing",
+    )
+    query.add_argument("--timeout", type=float, default=None)
+    query.add_argument(
+        "--limit", type=int, default=20, help="rows to print (default 20)"
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "bench":
+        return _run_bench(args)
+    return _run_query(args)
 
 
 if __name__ == "__main__":

@@ -239,3 +239,25 @@ def ldbc_store(
     store.add_alias("Organisation", ORGANISATION_LABELS)
     store.add_alias("Place", PLACE_LABELS)
     return store
+
+
+def ldbc_session(
+    scale_factor: float = 1.0,
+    seed: int = 42,
+    graph: PropertyGraph | None = None,
+):
+    """A :class:`~repro.engine.session.GraphSession` over an LDBC graph,
+    with the Organisation/Place alias views declared."""
+    from repro.engine.session import GraphSession
+
+    schema = ldbc_schema()
+    if graph is None:
+        graph = generate_ldbc(scale_factor, seed=seed)
+    return GraphSession(
+        graph,
+        schema,
+        aliases={
+            "Organisation": ORGANISATION_LABELS,
+            "Place": PLACE_LABELS,
+        },
+    )

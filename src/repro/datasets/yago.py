@@ -201,3 +201,16 @@ def yago_store(
 ) -> RelationalStore:
     """Relational store for a YAGO graph."""
     return RelationalStore.from_graph(graph, schema or yago_schema())
+
+
+def yago_session(
+    scale: float = 1.0,
+    seed: int = 7,
+    graph: PropertyGraph | None = None,
+):
+    """A :class:`~repro.engine.session.GraphSession` over a YAGO graph."""
+    from repro.engine.session import GraphSession
+
+    if graph is None:
+        graph = generate_yago(scale, seed=seed)
+    return GraphSession(graph, yago_schema())

@@ -1,0 +1,178 @@
+"""Backend adapters for the four execution substrates.
+
+Each adapter wraps an existing engine behind the :class:`~repro.engine.
+protocol.Backend` contract. Plan artefacts are tiny frozen carriers of
+whatever the substrate actually executes:
+
+* ``ra``        — the optimised µ-RA term (explained via the Fig. 17
+                  cost-based planner),
+* ``sqlite``    — the generated ``WITH RECURSIVE`` SQL text (explained
+                  via SQLite's own ``EXPLAIN QUERY PLAN``),
+* ``gdb``       — the compiled graph patterns (explained as Cypher when
+                  the query is Cypher-expressible, else as a pattern
+                  listing),
+* ``reference`` — the UCQT itself (the naive Fig. 5 evaluator has no
+                  plan to speak of).
+
+All adapters return *head-ordered* row sets, so results are directly
+comparable across backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.engine.protocol import register_backend
+from repro.gdb.cypher import cypher_expressible, to_cypher
+from repro.gdb.patterns import GraphPattern, ucqt_to_patterns
+from repro.graph.evaluator import EvalBudget
+from repro.query.evaluation import evaluate_ucqt
+from repro.query.model import UCQT
+from repro.ra.evaluate import evaluate_term
+from repro.ra.optimizer import optimize_term
+from repro.ra.plan import explain as explain_ra_term
+from repro.ra.terms import RaTerm
+from repro.ra.translate import TranslationContext, ucqt_to_ra
+from repro.sql.generate import ucqt_to_sql
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.session import GraphSession
+
+
+# -- µ-RA engine (the PostgreSQL stand-in) ------------------------------------
+@dataclass(frozen=True)
+class RaPlan:
+    """An optimised µ-RA term plus the head column contract."""
+
+    term: RaTerm
+    head: tuple[str, ...]
+
+
+class RaBackend:
+    name = "ra"
+
+    def prepare(self, session: "GraphSession", query: UCQT) -> RaPlan:
+        term = optimize_term(
+            ucqt_to_ra(query, TranslationContext()), session.store
+        )
+        return RaPlan(term=term, head=query.head)
+
+    def execute(
+        self,
+        session: "GraphSession",
+        plan: RaPlan,
+        timeout_seconds: float | None = None,
+    ) -> frozenset[tuple]:
+        columns, rows = evaluate_term(
+            plan.term, session.store, EvalBudget(timeout_seconds)
+        )
+        if columns != plan.head:
+            order = tuple(columns.index(column) for column in plan.head)
+            rows = {tuple(row[i] for i in order) for row in rows}
+        return frozenset(rows)
+
+    def explain(self, session: "GraphSession", plan: RaPlan) -> str:
+        return explain_ra_term(plan.term, session.store)
+
+
+# -- generated SQL on SQLite --------------------------------------------------
+@dataclass(frozen=True)
+class SqlPlan:
+    """The generated recursive SQL text."""
+
+    sql: str
+
+
+class SqliteEngineBackend:
+    name = "sqlite"
+
+    def prepare(self, session: "GraphSession", query: UCQT) -> SqlPlan:
+        return SqlPlan(sql=ucqt_to_sql(query, session.store))
+
+    def execute(
+        self,
+        session: "GraphSession",
+        plan: SqlPlan,
+        timeout_seconds: float | None = None,
+    ) -> frozenset[tuple]:
+        return session.sqlite.execute_sql(plan.sql, timeout_seconds)
+
+    def explain(self, session: "GraphSession", plan: SqlPlan) -> str:
+        query_plan = session.sqlite.explain_query_plan(plan.sql)
+        return f"{plan.sql}\n\n-- EXPLAIN QUERY PLAN --\n{query_plan}"
+
+
+# -- graph-pattern expansion (the Neo4j stand-in) -----------------------------
+@dataclass(frozen=True)
+class GdbPlan:
+    """Compiled graph patterns, plus Cypher when expressible."""
+
+    patterns: tuple[GraphPattern, ...]
+    cypher: str | None
+
+
+class GdbBackend:
+    name = "gdb"
+
+    def prepare(self, session: "GraphSession", query: UCQT) -> GdbPlan:
+        cypher = to_cypher(query) if cypher_expressible(query) else None
+        return GdbPlan(patterns=tuple(ucqt_to_patterns(query)), cypher=cypher)
+
+    def execute(
+        self,
+        session: "GraphSession",
+        plan: GdbPlan,
+        timeout_seconds: float | None = None,
+    ) -> frozenset[tuple]:
+        budget = EvalBudget(timeout_seconds)
+        result: set[tuple] = set()
+        for pattern in plan.patterns:
+            result |= session.pattern_engine.evaluate_pattern(pattern, budget)
+        return frozenset(result)
+
+    def explain(self, session: "GraphSession", plan: GdbPlan) -> str:
+        if plan.cypher is not None:
+            return plan.cypher
+        lines = []
+        for index, pattern in enumerate(plan.patterns):
+            lines.append(f"-- pattern {index + 1}/{len(plan.patterns)} --")
+            for edge in pattern.edges:
+                lines.append(f"  ({edge.source})-[{edge.expr}]->({edge.target})")
+            for var, labels in pattern.node_labels:
+                lines.append(f"  {var} in {{{', '.join(sorted(labels))}}}")
+        return "\n".join(lines)
+
+
+# -- naive reference evaluator ------------------------------------------------
+@dataclass(frozen=True)
+class ReferencePlan:
+    """The reference evaluator interprets the UCQT directly."""
+
+    query: UCQT
+
+
+class ReferenceBackend:
+    name = "reference"
+
+    def prepare(self, session: "GraphSession", query: UCQT) -> ReferencePlan:
+        return ReferencePlan(query=query)
+
+    def execute(
+        self,
+        session: "GraphSession",
+        plan: ReferencePlan,
+        timeout_seconds: float | None = None,
+    ) -> frozenset[tuple]:
+        return evaluate_ucqt(
+            session.graph, plan.query, EvalBudget(timeout_seconds)
+        )
+
+    def explain(self, session: "GraphSession", plan: ReferencePlan) -> str:
+        return f"-- naive CQT evaluation (no plan) --\n{plan.query}"
+
+
+register_backend(RaBackend())
+register_backend(SqliteEngineBackend())
+register_backend(GdbBackend())
+register_backend(ReferenceBackend())

@@ -1,0 +1,84 @@
+"""Bounded LRU caches with hit/miss counters.
+
+Both session cache layers (rewrite cache, per-backend plan cache) are
+instances of :class:`LruCache`. Keys always embed the session's schema
+fingerprint, so a schema change invalidates entries *semantically* —
+stale entries simply never hit again and age out of the LRU order.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable, TypeVar
+
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counter snapshot of one cache layer."""
+
+    hits: int
+    misses: int
+    size: int
+    max_size: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class LruCache:
+    """A small LRU map that counts hits and misses.
+
+    ``max_size <= 0`` disables storage (every lookup misses) — used to
+    switch caching off without changing the calling code.
+    """
+
+    def __init__(self, max_size: int = 256):
+        self.max_size = max_size
+        self.hits = 0
+        self.misses = 0
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], V]) -> V:
+        """Return the cached value for ``key``, creating it on a miss."""
+        value = self._data.get(key, _MISSING)
+        if value is not _MISSING:
+            self.hits += 1
+            self._data.move_to_end(key)
+            return value  # type: ignore[return-value]
+        self.misses += 1
+        value = factory()
+        if self.max_size > 0:
+            self._data[key] = value
+            if len(self._data) > self.max_size:
+                self._data.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            size=len(self._data),
+            max_size=self.max_size,
+        )

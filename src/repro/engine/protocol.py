@@ -1,0 +1,65 @@
+"""The uniform execution-backend protocol and its registry.
+
+A *backend* adapts one execution substrate (µ-RA engine, SQLite, the
+graph-pattern engine, the reference evaluator) to the three-step contract
+the session drives: ``prepare`` compiles a (possibly schema-rewritten)
+UCQT into a backend-specific plan artefact, ``execute`` runs a prepared
+plan, ``explain`` renders it human-readably via the substrate's existing
+printer. Backends are stateless — all derived state (relational store,
+SQLite database, pattern engine) lives on the session, so one registry
+entry serves every session.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.query.model import UCQT
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.session import GraphSession
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Uniform adapter interface over one execution substrate."""
+
+    #: Registry key and the ``backend=`` argument of ``session.execute``.
+    name: str
+
+    def prepare(self, session: "GraphSession", query: UCQT) -> object:
+        """Compile ``query`` into this backend's plan artefact."""
+
+    def execute(
+        self,
+        session: "GraphSession",
+        plan: object,
+        timeout_seconds: float | None = None,
+    ) -> frozenset[tuple]:
+        """Run a prepared plan, returning head-ordered result tuples."""
+
+    def explain(self, session: "GraphSession", plan: object) -> str:
+        """Render the prepared plan with the substrate's printer."""
+
+
+_REGISTRY: dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend) -> Backend:
+    """Add a backend instance to the global registry (last write wins)."""
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> Backend:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; registered: {available_backends()}"
+        ) from None
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, in registration order."""
+    return tuple(_REGISTRY)

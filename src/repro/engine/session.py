@@ -1,0 +1,348 @@
+"""``GraphSession`` — the single entry point over all execution substrates.
+
+Construct a session once from a :class:`~repro.graph.model.PropertyGraph`
+and a :class:`~repro.schema.model.GraphSchema`; it lazily builds and owns
+every derived artefact (relational store, in-memory SQLite database,
+pattern engine) and serves ``session.execute(query, backend=...)`` through
+the uniform :class:`~repro.engine.protocol.Backend` protocol.
+
+Two cache layers sit between parsing and execution, both keyed on
+``(normalised query text, schema fingerprint, rewrite options)``:
+
+* the **rewrite cache** memoises :func:`repro.core.rewriter.rewrite_query`
+  (type inference + merging + redundancy removal is the expensive
+  schema-dependent work), and
+* the **plan cache** memoises each backend's compiled artefact — the
+  optimised µ-RA term, the generated recursive SQL, or the compiled
+  graph patterns.
+
+A repeated query therefore pays only for execution; hit/miss counters are
+exposed via :attr:`GraphSession.cache_stats`. The schema fingerprint makes
+invalidation automatic: :meth:`GraphSession.update_schema` changes the
+fingerprint, so every cached entry stops matching.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.rewriter import RewriteOptions, RewriteResult, rewrite_query
+from repro.engine import backends as _backends  # noqa: F401 - registers adapters
+from repro.engine.cache import CacheStats, LruCache
+from repro.engine.protocol import Backend, available_backends, get_backend
+from repro.gdb.engine import PatternEngine
+from repro.graph.model import PropertyGraph
+from repro.query.model import UCQT
+from repro.query.parser import parse_query
+from repro.schema.model import GraphSchema
+from repro.sql.sqlite_backend import SqliteBackend
+from repro.storage.relational import RelationalStore
+
+
+def schema_fingerprint(
+    schema: GraphSchema, aliases: Mapping[str, tuple[str, ...]] | None = None
+) -> str:
+    """A stable digest of a schema's semantic content.
+
+    Covers node labels with their property specifications, the schema
+    edge triples, and any alias views layered on top — everything the
+    rewriter and the translators can observe. The schema's display name
+    is deliberately excluded.
+    """
+    digest = hashlib.sha256()
+    for node in sorted(schema.nodes(), key=lambda n: n.label):
+        digest.update(node.label.encode())
+        for spec in node.properties:
+            digest.update(f"|{spec.key}:{spec.data_type}".encode())
+        digest.update(b"\n")
+    for edge in sorted(
+        schema.edges(),
+        key=lambda e: (e.source_label, e.edge_label, e.target_label),
+    ):
+        digest.update(
+            f"{edge.source_label}-[{edge.edge_label}]->{edge.target_label}\n".encode()
+        )
+    for alias in sorted(aliases or {}):
+        digest.update(f"{alias}={','.join(aliases[alias])}\n".encode())
+    return digest.hexdigest()[:16]
+
+
+def _drop_unsatisfiable_disjuncts(query: UCQT) -> UCQT:
+    """Remove disjuncts whose label atoms intersect to the empty set.
+
+    The rewriter *appends* its inferred label atoms to any user-written
+    ones, so a disjunct can end up demanding disjoint label sets for one
+    variable — satisfiable by no node. The graph-side engines evaluate
+    such disjuncts to nothing, but the relational translators reject an
+    empty node-set semi-join; normalising here keeps every backend on
+    identical (and minimal) input.
+    """
+    keep = tuple(
+        cqt
+        for cqt in query.disjuncts
+        if all(cqt.labels_for(var) != frozenset() for var in cqt.variables())
+    )
+    if len(keep) == len(query.disjuncts):
+        return query
+    return UCQT(query.head, keep)
+
+
+@dataclass
+class PreparedQuery:
+    """A query bound to one backend with its compiled plan.
+
+    Executing a prepared query touches neither the rewriter nor the
+    optimiser — it holds direct references to the cached artefacts.
+    A ``plan`` of None means the schema proved the query unsatisfiable.
+
+    The handle records the schema fingerprint it was prepared under;
+    if the session's schema changes, the next ``execute``/``explain``
+    transparently re-prepares against the new schema instead of running
+    a stale plan over the rebuilt store.
+    """
+
+    session: "GraphSession"
+    backend: Backend
+    query: UCQT
+    executed: UCQT
+    rewrite_result: RewriteResult | None
+    plan: object | None
+    fingerprint: str
+    rewrite: bool
+    options: "RewriteOptions | None"
+
+    @property
+    def backend_name(self) -> str:
+        return self.backend.name
+
+    @property
+    def reverted(self) -> bool:
+        """True when the schema rewriter kept the original query."""
+        return self.rewrite_result.reverted if self.rewrite_result else True
+
+    def _refresh_if_stale(self) -> None:
+        if self.fingerprint != self.session.schema_fingerprint:
+            renewed = self.session.prepare(
+                self.query,
+                self.backend.name,
+                rewrite=self.rewrite,
+                options=self.options,
+            )
+            self.__dict__.update(renewed.__dict__)
+
+    def execute(self, timeout_seconds: float | None = None) -> frozenset[tuple]:
+        self._refresh_if_stale()
+        if self.plan is None:
+            return frozenset()
+        return self.backend.execute(self.session, self.plan, timeout_seconds)
+
+    def explain(self) -> str:
+        self._refresh_if_stale()
+        if self.plan is None:
+            return "-- empty result: the schema proved this query unsatisfiable --"
+        return self.backend.explain(self.session, self.plan)
+
+
+class GraphSession:
+    """Unified engine façade over one property graph and its schema."""
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        schema: GraphSchema,
+        *,
+        store: RelationalStore | None = None,
+        aliases: Mapping[str, tuple[str, ...]] | None = None,
+        rewrite_options: RewriteOptions | None = None,
+        cache_size: int = 256,
+    ):
+        self.graph = graph
+        self._schema = schema
+        self._store = store
+        if store is not None:
+            # An injected store brings its own alias views; any aliases
+            # declared here are added on top (conflicts are API misuse).
+            self._aliases: dict[str, tuple[str, ...]] = dict(store.aliases)
+            for name, members in (aliases or {}).items():
+                members = tuple(members)
+                existing = self._aliases.get(name)
+                if existing is None:
+                    store.add_alias(name, members)
+                    self._aliases[name] = members
+                elif existing != members:
+                    raise ValueError(
+                        f"alias {name!r} declared as {members} but the "
+                        f"injected store defines it as {existing}"
+                    )
+        else:
+            self._aliases = {k: tuple(v) for k, v in (aliases or {}).items()}
+        self.rewrite_options = rewrite_options or RewriteOptions()
+        self._sqlite: SqliteBackend | None = None
+        self._pattern_engine: PatternEngine | None = None
+        self._fingerprint: str | None = None
+        self._rewrite_cache = LruCache(cache_size)
+        self._plan_cache = LruCache(cache_size)
+
+    # -- derived artefacts (built lazily, owned by the session) -----------
+    @property
+    def schema(self) -> GraphSchema:
+        return self._schema
+
+    @property
+    def schema_fingerprint(self) -> str:
+        if self._fingerprint is None:
+            self._fingerprint = schema_fingerprint(self._schema, self._aliases)
+        return self._fingerprint
+
+    @property
+    def store(self) -> RelationalStore:
+        if self._store is None:
+            store = RelationalStore.from_graph(self.graph, self._schema)
+            for alias in sorted(self._aliases):
+                store.add_alias(alias, self._aliases[alias])
+            self._store = store
+        return self._store
+
+    @property
+    def sqlite(self) -> SqliteBackend:
+        if self._sqlite is None:
+            self._sqlite = SqliteBackend(self.store)
+        return self._sqlite
+
+    @property
+    def pattern_engine(self) -> PatternEngine:
+        if self._pattern_engine is None:
+            self._pattern_engine = PatternEngine(self.graph)
+        return self._pattern_engine
+
+    def update_schema(self, schema: GraphSchema) -> None:
+        """Swap the schema: derived artefacts rebuild lazily and the new
+        fingerprint retires every cached rewrite and plan."""
+        self._schema = schema
+        self._fingerprint = None
+        if self._sqlite is not None:
+            self._sqlite.close()
+        self._sqlite = None
+        self._store = None
+
+    # -- the pipeline, cached ----------------------------------------------
+    def rewrite(
+        self,
+        query: UCQT | str,
+        options: RewriteOptions | None = None,
+    ) -> RewriteResult:
+        """Schema-rewrite a query, memoised on (query, fingerprint, options)."""
+        query = self._as_query(query)
+        options = options or self.rewrite_options
+        key = (str(query), self.schema_fingerprint, options)
+        return self._rewrite_cache.get_or_create(
+            key, lambda: rewrite_query(query, self._schema, options)
+        )
+
+    def prepare(
+        self,
+        query: UCQT | str,
+        backend: str = "ra",
+        *,
+        rewrite: bool = True,
+        options: RewriteOptions | None = None,
+    ) -> PreparedQuery:
+        """Compile a query for one backend, through both cache layers.
+
+        ``rewrite=False`` skips the schema rewriter entirely (the
+        baseline variant of the paper's experiments).
+        """
+        query = self._as_query(query)
+        backend_impl = get_backend(backend)
+        options = (options or self.rewrite_options) if rewrite else None
+        rewrite_result = None
+        executed = query
+        if rewrite:
+            rewrite_result = self.rewrite(query, options)
+            executed = rewrite_result.query
+        executed = _drop_unsatisfiable_disjuncts(executed)
+        if executed.is_empty:
+            return PreparedQuery(
+                self, backend_impl, query, executed, rewrite_result, None,
+                self.schema_fingerprint, rewrite, options,
+            )
+        key = (
+            backend_impl.name,
+            str(query),
+            rewrite,
+            self.schema_fingerprint,
+            options,
+        )
+        plan = self._plan_cache.get_or_create(
+            key, lambda: backend_impl.prepare(self, executed)
+        )
+        return PreparedQuery(
+            self, backend_impl, query, executed, rewrite_result, plan,
+            self.schema_fingerprint, rewrite, options,
+        )
+
+    def execute(
+        self,
+        query: UCQT | str,
+        backend: str = "ra",
+        *,
+        timeout_seconds: float | None = None,
+        rewrite: bool = True,
+        options: RewriteOptions | None = None,
+    ) -> frozenset[tuple]:
+        """Rewrite, plan (both cached) and run a query on one backend."""
+        prepared = self.prepare(query, backend, rewrite=rewrite, options=options)
+        return prepared.execute(timeout_seconds)
+
+    def explain(
+        self,
+        query: UCQT | str,
+        backend: str = "ra",
+        *,
+        rewrite: bool = True,
+        options: RewriteOptions | None = None,
+    ) -> str:
+        """Render the plan the backend would execute for this query."""
+        prepared = self.prepare(query, backend, rewrite=rewrite, options=options)
+        return prepared.explain()
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def backends(self) -> tuple[str, ...]:
+        return available_backends()
+
+    @property
+    def cache_stats(self) -> dict[str, CacheStats]:
+        return {
+            "rewrite": self._rewrite_cache.stats(),
+            "plan": self._plan_cache.stats(),
+        }
+
+    def clear_caches(self) -> None:
+        self._rewrite_cache.clear()
+        self._plan_cache.clear()
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        if self._sqlite is not None:
+            self._sqlite.close()
+            self._sqlite = None
+
+    def __enter__(self) -> "GraphSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GraphSession({self.graph.name!r}, schema={self._schema.name!r}, "
+            f"fingerprint={self.schema_fingerprint})"
+        )
+
+    # -- helpers -----------------------------------------------------------
+    @staticmethod
+    def _as_query(query: UCQT | str) -> UCQT:
+        return parse_query(query) if isinstance(query, str) else query

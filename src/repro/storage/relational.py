@@ -48,6 +48,7 @@ class RelationalStore:
         self.name = name
         self._tables: dict[str, Table] = {}
         self._aliases: dict[str, tuple[str, ...]] = {}
+        self._alias_tables: dict[str, Table] = {}
         self._node_labels: set[str] = set()
         self._edge_labels: set[str] = set()
 
@@ -92,6 +93,7 @@ class RelationalStore:
         if table.name in self._tables or table.name in self._aliases:
             raise EvaluationError(f"duplicate table name {table.name!r}")
         self._tables[table.name] = table
+        self._alias_tables.clear()
         if node_label:
             self._node_labels.add(table.name)
         else:
@@ -114,16 +116,26 @@ class RelationalStore:
         return name in self._tables or name in self._aliases
 
     def table(self, name: str) -> Table:
-        """Resolve a table or alias view (alias rows are key-only)."""
+        """Resolve a table or alias view (alias rows are key-only).
+
+        Alias union tables are materialised on first access and reused —
+        they sit on the hot path of every semi-join against an abstract
+        LDBC relation. ``add_table`` invalidates the materialisation.
+        """
         if name in self._tables:
             return self._tables[name]
         if name in self._aliases:
+            cached = self._alias_tables.get(name)
+            if cached is not None:
+                return cached
             rows: set[Row] = set()
             for member in self._aliases[name]:
                 member_table = self._tables[member]
                 index = member_table.columns.index("Sr")
                 rows.update((row[index],) for row in member_table.rows)
-            return Table(name, ("Sr",), rows)
+            table = Table(name, ("Sr",), rows)
+            self._alias_tables[name] = table
+            return table
         raise EvaluationError(f"unknown table {name!r}")
 
     def node_ids(self, label: str) -> frozenset[int]:
