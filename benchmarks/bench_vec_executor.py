@@ -1,0 +1,171 @@
+"""Vectorized columnar engine vs the µ-RA interpreter (``vec`` vs ``ra``).
+
+Runs the full YAGO and LDBC workloads on both backends from *prepared*
+plans (each backend's compiled artefact, warm caches), records best-of-N
+wall-clock per query, checks result agreement row-for-row, and writes a
+JSON artefact — ``benchmarks/output/vec_executor.json`` — alongside the
+other bench outputs with per-query times and the aggregate speedups.
+
+Profiles (``REPRO_VEC_BENCH_PROFILE``):
+
+* ``quick`` (default) — YAGO scale 0.6, LDBC SF 1, best of 3,
+* ``smoke`` — tiny datasets, best of 2; the CI step that keeps the
+  subsystem from rotting.
+
+The headline number is the *recursive* aggregate: baseline (unrewritten)
+workload queries keep their fixpoints, which is exactly where semi-naive
+delta iteration over encoded columns should beat tuple-at-a-time
+interpretation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from conftest import OUTPUT_DIR
+
+_PROFILES = {
+    # name: (yago scale, ldbc scale factor, repetitions)
+    "quick": (0.6, 1.0, 3),
+    "smoke": (0.15, 0.1, 2),
+}
+PROFILE = os.environ.get("REPRO_VEC_BENCH_PROFILE", "quick")
+YAGO_SCALE, LDBC_SF, REPETITIONS = _PROFILES[PROFILE]
+TIMEOUT = 60.0
+
+CLOSURE_QUERY = "x1, x2 <- (x1, isLocatedIn+, x2)"
+
+
+@pytest.fixture(scope="module")
+def yago_vec_session():
+    from repro.datasets.yago import yago_session
+
+    with yago_session(scale=YAGO_SCALE) as session:
+        yield session
+
+
+@pytest.fixture(scope="module")
+def ldbc_vec_session():
+    from repro.datasets.ldbc import ldbc_session
+
+    with ldbc_session(scale_factor=LDBC_SF) as session:
+        yield session
+
+
+def _best_of(callable_, repetitions: int) -> float:
+    best = float("inf")
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure_workload(session, queries, scale) -> dict:
+    """Time every query × {baseline, schema} on ra and vec; verify rows."""
+    records = []
+    for workload_query in queries:
+        for variant, rewrite in (("baseline", False), ("schema", True)):
+            prepared = {
+                backend: session.prepare(
+                    workload_query.query, backend, rewrite=rewrite
+                )
+                for backend in ("ra", "vec")
+            }
+            rows = {
+                backend: plan.execute(timeout_seconds=TIMEOUT)
+                for backend, plan in prepared.items()
+            }
+            assert rows["vec"] == rows["ra"], (workload_query.qid, variant)
+            seconds = {
+                backend: _best_of(
+                    lambda plan=plan: plan.execute(timeout_seconds=TIMEOUT),
+                    REPETITIONS,
+                )
+                for backend, plan in prepared.items()
+            }
+            records.append(
+                {
+                    "qid": workload_query.qid,
+                    "variant": variant,
+                    # Baseline keeps the query's fixpoints; the schema
+                    # variant may have eliminated them entirely.
+                    "recursive": workload_query.recursive and not rewrite,
+                    "rows": len(rows["ra"]),
+                    "ra_seconds": seconds["ra"],
+                    "vec_seconds": seconds["vec"],
+                    "speedup": seconds["ra"] / max(seconds["vec"], 1e-9),
+                }
+            )
+    return {"scale": scale, "queries": records}
+
+
+def _aggregate(records) -> dict:
+    ra = sum(r["ra_seconds"] for r in records)
+    vec = sum(r["vec_seconds"] for r in records)
+    return {
+        "queries": len(records),
+        "ra_seconds": ra,
+        "vec_seconds": vec,
+        "speedup": ra / max(vec, 1e-9),
+    }
+
+
+@pytest.fixture(scope="module")
+def workload_results(yago_vec_session, ldbc_vec_session):
+    from repro.workloads.ldbc_queries import LDBC_QUERIES
+    from repro.workloads.yago_queries import YAGO_QUERIES
+
+    results = {
+        "profile": PROFILE,
+        "workloads": {
+            "yago": _measure_workload(
+                yago_vec_session, YAGO_QUERIES, YAGO_SCALE
+            ),
+            "ldbc": _measure_workload(
+                ldbc_vec_session, LDBC_QUERIES, LDBC_SF
+            ),
+        },
+    }
+    pooled = [
+        record
+        for workload in results["workloads"].values()
+        for record in workload["queries"]
+    ]
+    results["overall"] = _aggregate(pooled)
+    results["recursive"] = _aggregate(
+        [r for r in pooled if r["recursive"]]
+    )
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "vec_executor.json").write_text(
+        json.dumps(results, indent=2) + "\n"
+    )
+    return results
+
+
+def test_vec_agrees_and_beats_ra_on_recursive_workloads(workload_results):
+    """The acceptance gate: row-for-row agreement (asserted while
+    measuring) and a measured speedup on the fixpoint-bearing queries."""
+    recursive = workload_results["recursive"]
+    assert recursive["queries"] > 0
+    assert recursive["speedup"] > 1.0, workload_results["recursive"]
+
+
+def test_artifact_written(workload_results):
+    artifact = json.loads((OUTPUT_DIR / "vec_executor.json").read_text())
+    assert artifact["profile"] == PROFILE
+    assert set(artifact["workloads"]) == {"yago", "ldbc"}
+
+
+def test_closure_ra_interpreter(benchmark, yago_vec_session):
+    prepared = yago_vec_session.prepare(CLOSURE_QUERY, "ra", rewrite=False)
+    assert benchmark(prepared.execute)
+
+
+def test_closure_vec_engine(benchmark, yago_vec_session):
+    prepared = yago_vec_session.prepare(CLOSURE_QUERY, "vec", rewrite=False)
+    assert benchmark(prepared.execute)

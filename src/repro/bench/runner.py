@@ -1,8 +1,10 @@
-"""Timed query execution across the four execution engines.
+"""Timed query execution across the execution engines.
 
-Engines (paper §5.1.6 / §5.5):
+Engines (the paper's four, §5.1.6 / §5.5, plus the columnar runtime):
 
 * ``ra``        — the µ-RA engine with optimizer (the PostgreSQL stand-in),
+* ``vec``       — the same optimised plans on the vectorized columnar
+                  engine (:mod:`repro.exec`),
 * ``sqlite``    — generated recursive SQL executed on real SQLite,
 * ``gdb``       — the graph-pattern expansion engine (the Neo4j stand-in),
 * ``reference`` — the naive Fig. 5 evaluator (sanity baseline).
@@ -29,7 +31,7 @@ from repro.sql.sqlite_backend import SqliteBackend
 from repro.storage.relational import RelationalStore
 from repro.workloads.ldbc_queries import WorkloadQuery
 
-ENGINES = ("ra", "sqlite", "gdb", "reference")
+ENGINES = ("ra", "vec", "sqlite", "gdb", "reference")
 
 
 @dataclass

@@ -25,11 +25,24 @@ EXPERIMENTS = (
 DATASETS = ("yago", "ldbc", "yago-example")
 
 
-def _backend_choices() -> tuple[str, ...]:
+def _backend_names() -> tuple[str, ...]:
     """Registered backend names (includes user-registered backends)."""
     from repro.engine import available_backends
 
     return available_backends()
+
+
+def _backend_argument(value: str) -> str:
+    """Validate a backend name against the live registry at parse time,
+    so a typo fails with the registered names instead of deep inside the
+    session after the dataset has been generated."""
+    names = _backend_names()
+    if value not in names:
+        raise argparse.ArgumentTypeError(
+            f"unknown backend {value!r}; registered backends: "
+            f"{', '.join(names)}"
+        )
+    return value
 
 
 def _run_tables78(full: bool):
@@ -146,8 +159,10 @@ def main(argv: list[str] | None = None) -> int:
     bench.add_argument(
         "--engine",
         default="ra",
-        choices=_backend_choices(),
-        help="execution engine for runtime experiments",
+        type=_backend_argument,
+        metavar="ENGINE",
+        help="execution engine for runtime experiments "
+        f"(registered: {', '.join(_backend_names())})",
     )
 
     query = subparsers.add_parser(
@@ -160,7 +175,12 @@ def main(argv: list[str] | None = None) -> int:
         help="dataset scale factor (ignored for yago-example)",
     )
     query.add_argument(
-        "--backend", default="ra", choices=_backend_choices(),
+        "--backend",
+        default="ra",
+        type=_backend_argument,
+        metavar="BACKEND",
+        help="execution backend "
+        f"(registered: {', '.join(_backend_names())})",
     )
     query.add_argument(
         "--baseline", action="store_true",

@@ -10,8 +10,8 @@ Quickstart::
                           backend="sqlite"))
 
 The same query string runs unchanged on every registered backend
-(``ra``, ``sqlite``, ``gdb``, ``reference``); rewriting and planning are
-cached per (query, schema fingerprint, options).
+(``ra``, ``vec``, ``sqlite``, ``gdb``, ``reference``); rewriting and
+planning are cached per (query, schema fingerprint, options).
 """
 
 from repro.engine.cache import CacheStats, LruCache

@@ -1,4 +1,4 @@
-"""Backend adapters for the four execution substrates.
+"""Backend adapters for the five execution substrates.
 
 Each adapter wraps an existing engine behind the :class:`~repro.engine.
 protocol.Backend` contract. Plan artefacts are tiny frozen carriers of
@@ -6,6 +6,9 @@ whatever the substrate actually executes:
 
 * ``ra``        — the optimised µ-RA term (explained via the Fig. 17
                   cost-based planner),
+* ``vec``       — the optimised µ-RA term compiled into a vectorized
+                  columnar program (explained as the logical plan plus
+                  the physical operator tree),
 * ``sqlite``    — the generated ``WITH RECURSIVE`` SQL text (explained
                   via SQLite's own ``EXPLAIN QUERY PLAN``),
 * ``gdb``       — the compiled graph patterns (explained as Cypher when
@@ -24,6 +27,9 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.engine.protocol import register_backend
+from repro.exec.compile import CompiledProgram, compile_term
+from repro.exec.executor import execute_program
+from repro.exec.kernels import default_kernel
 from repro.gdb.cypher import cypher_expressible, to_cypher
 from repro.gdb.patterns import GraphPattern, ucqt_to_patterns
 from repro.graph.evaluator import EvalBudget
@@ -74,6 +80,57 @@ class RaBackend:
 
     def explain(self, session: "GraphSession", plan: RaPlan) -> str:
         return explain_ra_term(plan.term, session.store)
+
+
+# -- vectorized columnar engine -----------------------------------------------
+@dataclass(frozen=True)
+class VecPlan:
+    """An optimised µ-RA term compiled to a columnar program."""
+
+    term: RaTerm
+    program: CompiledProgram
+    head: tuple[str, ...]
+
+
+class VecBackend:
+    """Columnar execution of the same optimised plans the ``ra`` backend
+    runs tuple-at-a-time: base tables are dictionary-encoded once per
+    store snapshot, operators move whole integer columns, and fixpoints
+    iterate semi-naively over delta frontiers (:mod:`repro.exec`)."""
+
+    name = "vec"
+
+    def prepare(self, session: "GraphSession", query: UCQT) -> VecPlan:
+        term = optimize_term(
+            ucqt_to_ra(query, TranslationContext()), session.store
+        )
+        return VecPlan(
+            term=term,
+            program=compile_term(term, session.store),
+            head=query.head,
+        )
+
+    def execute(
+        self,
+        session: "GraphSession",
+        plan: VecPlan,
+        timeout_seconds: float | None = None,
+    ) -> frozenset[tuple]:
+        return execute_program(
+            plan.program,
+            session.store,
+            head=plan.head,
+            budget=EvalBudget(timeout_seconds),
+        )
+
+    def explain(self, session: "GraphSession", plan: VecPlan) -> str:
+        logical = explain_ra_term(plan.term, session.store)
+        physical = plan.program.render()
+        kernel = default_kernel().NAME
+        return (
+            f"-- logical µ-RA plan --\n{logical}\n\n"
+            f"-- physical columnar plan ({kernel} kernels) --\n{physical}"
+        )
 
 
 # -- generated SQL on SQLite --------------------------------------------------
@@ -173,6 +230,7 @@ class ReferenceBackend:
 
 
 register_backend(RaBackend())
+register_backend(VecBackend())
 register_backend(SqliteEngineBackend())
 register_backend(GdbBackend())
 register_backend(ReferenceBackend())

@@ -1,7 +1,8 @@
 """The uniform execution-backend protocol and its registry.
 
-A *backend* adapts one execution substrate (µ-RA engine, SQLite, the
-graph-pattern engine, the reference evaluator) to the three-step contract
+A *backend* adapts one execution substrate (µ-RA engine, the vectorized
+columnar engine, SQLite, the graph-pattern engine, the reference
+evaluator) to the three-step contract
 the session drives: ``prepare`` compiles a (possibly schema-rewritten)
 UCQT into a backend-specific plan artefact, ``execute`` runs a prepared
 plan, ``explain`` renders it human-readably via the substrate's existing

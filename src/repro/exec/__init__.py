@@ -1,0 +1,45 @@
+"""Vectorized columnar execution engine (the ``vec`` backend).
+
+The µ-RA interpreter in :mod:`repro.ra.evaluate` processes one tuple at a
+time over Python sets of heterogeneous values. This subsystem executes the
+*same* optimised :class:`~repro.ra.terms.RaTerm` plans batch-at-a-time
+over columns of dense integer codes:
+
+* :mod:`repro.exec.dictionary` — dictionary-encodes every node id and
+  constant into a dense integer once per store snapshot (invalidated by
+  :attr:`~repro.storage.relational.RelationalStore.version`),
+* :mod:`repro.exec.kernels` — the columnar kernel primitives (gather,
+  distinct, hash join on encoded key columns, set difference), with a
+  NumPy implementation and a pure-Python fallback behind one surface,
+* :mod:`repro.exec.compile` — compiles an ``RaTerm`` into a DAG of
+  physical columnar operators with all column arithmetic resolved to
+  positional indices at compile time,
+* :mod:`repro.exec.executor` — runs a compiled program, including
+  semi-naive fixpoint iteration over delta frontiers.
+
+The :class:`~repro.engine.backends.VecBackend` registered in the engine
+layer wires the pieces behind the standard ``prepare``/``execute``/
+``explain`` protocol.
+"""
+
+from repro.exec.compile import CompiledProgram, compile_term, render_program
+from repro.exec.dictionary import (
+    StoreEncoding,
+    ValueDictionary,
+    encoding_for,
+)
+from repro.exec.executor import execute_program
+from repro.exec.kernels import available_kernels, default_kernel, get_kernel
+
+__all__ = [
+    "CompiledProgram",
+    "StoreEncoding",
+    "ValueDictionary",
+    "available_kernels",
+    "compile_term",
+    "default_kernel",
+    "encoding_for",
+    "execute_program",
+    "get_kernel",
+    "render_program",
+]

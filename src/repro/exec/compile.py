@@ -1,0 +1,328 @@
+"""Compile optimised µ-RA terms into physical columnar programs.
+
+The compiler resolves every column-name computation of the interpreter —
+projection targets, natural-join key columns and output layout, union
+alignment, fixpoint step alignment — into positional indices *once*, so
+the executor moves whole columns without ever touching a column name.
+
+Shared sub-terms (the translator reuses term objects for repeated
+sub-expressions) compile to shared operator nodes, preserving the
+interpreter's run-shared-work-once behaviour: the executor memoises
+results of ``closed`` operators (those without free recursion variables)
+by node identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EvaluationError
+from repro.ra.terms import (
+    Fix,
+    Join,
+    Project,
+    RaTerm,
+    RaUnion,
+    Rel,
+    Rename,
+    SelectEq,
+    Var,
+)
+from repro.storage.relational import RelationalStore
+
+
+@dataclass
+class PhysOp:
+    """A physical columnar operator (base class)."""
+
+    columns: tuple[str, ...]
+    closed: bool
+
+    def children(self) -> tuple["PhysOp", ...]:
+        return ()
+
+    def label(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass
+class ScanOp(PhysOp):
+    """Scan an encoded base table, optionally projecting columns."""
+
+    table: str
+    indices: list[int] | None  # positions into the stored columns
+    dedup: bool
+
+    def label(self) -> str:
+        text = f"ColumnScan {self.table}"
+        if self.indices is not None:
+            text += f" [{', '.join(self.columns)}]"
+        if self.dedup:
+            text += " distinct"
+        return text
+
+
+@dataclass
+class VarOp(PhysOp):
+    """Scan the current fixpoint frontier bound to a recursion variable."""
+
+    name: str
+
+    def label(self) -> str:
+        return f"DeltaScan {self.name}"
+
+
+@dataclass
+class ProjectOp(PhysOp):
+    child: PhysOp
+    indices: list[int]
+    dedup: bool
+
+    def children(self) -> tuple[PhysOp, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        text = f"ColumnProject [{', '.join(self.columns)}]"
+        if self.dedup:
+            text += " distinct"
+        return text
+
+
+@dataclass
+class RenameOp(PhysOp):
+    """Pure metadata: same columns, new names (zero data movement)."""
+
+    child: PhysOp
+
+    def children(self) -> tuple[PhysOp, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"ColumnRename -> [{', '.join(self.columns)}]"
+
+
+@dataclass
+class SelectEqOp(PhysOp):
+    child: PhysOp
+    index_a: int
+    index_b: int
+
+    def children(self) -> tuple[PhysOp, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return (
+            f"ColumnFilter {self.columns[self.index_a]} = "
+            f"{self.columns[self.index_b]}"
+        )
+
+
+@dataclass
+class JoinOp(PhysOp):
+    """Hash join on encoded key columns (build side chosen at run time)."""
+
+    left: PhysOp
+    right: PhysOp
+    shared: tuple[str, ...]
+    left_key: list[int]
+    right_key: list[int]
+    layout: list[tuple[int, int]]  # output column <- (side, position)
+
+    def children(self) -> tuple[PhysOp, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        condition = ", ".join(self.shared) if self.shared else "cartesian"
+        return f"VecHashJoin on ({condition})"
+
+
+@dataclass
+class UnionOp(PhysOp):
+    left: PhysOp
+    right: PhysOp
+    right_perm: list[int] | None
+
+    def children(self) -> tuple[PhysOp, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        return "VecUnion distinct"
+
+
+@dataclass
+class FixOp(PhysOp):
+    """Least fixpoint over delta frontiers (semi-naive when linear)."""
+
+    var: str
+    base: PhysOp
+    step: PhysOp
+    step_perm: list[int] | None
+    linear: bool
+
+    def children(self) -> tuple[PhysOp, ...]:
+        return (self.base, self.step)
+
+    def label(self) -> str:
+        mode = "SemiNaiveFixpoint" if self.linear else "NaiveFixpoint"
+        return f"{mode} {self.var} [{', '.join(self.columns)}]"
+
+
+@dataclass
+class CompiledProgram:
+    """A compiled columnar program: the operator DAG plus scan manifest."""
+
+    root: PhysOp
+    columns: tuple[str, ...]
+    scan_tables: tuple[str, ...]
+    term: RaTerm = field(repr=False)
+
+    def render(self) -> str:
+        return _render(self.root, 0, set())
+
+
+def compile_term(term: RaTerm, store: RelationalStore) -> CompiledProgram:
+    """Compile ``term`` (columns resolved against ``store``) to a program."""
+    compiler = _Compiler(store)
+    root = compiler.compile(term, {})
+    return CompiledProgram(
+        root, root.columns, tuple(sorted(compiler.scans)), term
+    )
+
+
+def render_program(program: CompiledProgram) -> str:
+    return program.render()
+
+
+def _is_linear(term: RaTerm, var: str) -> bool:
+    count = sum(
+        1 for node in term.walk() if isinstance(node, Var) and node.name == var
+    )
+    return count == 1
+
+
+class _Compiler:
+    def __init__(self, store: RelationalStore):
+        self.store = store
+        self.scans: set[str] = set()
+        self._memo: dict[int, PhysOp] = {}
+
+    def compile(
+        self, term: RaTerm, var_env: dict[str, tuple[str, ...]]
+    ) -> PhysOp:
+        # Mirror the evaluator's memo: only closed terms are shared — a
+        # term under a fixpoint compiles against its binding's columns.
+        cacheable = not isinstance(term, Var) and not term.free_vars()
+        if cacheable:
+            hit = self._memo.get(id(term))
+            if hit is not None:
+                return hit
+        op = self._compile(term, var_env)
+        if cacheable:
+            self._memo[id(term)] = op
+        return op
+
+    def _compile(
+        self, term: RaTerm, var_env: dict[str, tuple[str, ...]]
+    ) -> PhysOp:
+        closed = not term.free_vars()
+        if isinstance(term, Rel):
+            self.scans.add(term.name)
+            stored = self.store.table(term.name).columns
+            if term.projection is None or term.projection == stored:
+                return ScanOp(stored, closed, term.name, None, False)
+            indices = [stored.index(c) for c in term.projection]
+            # Projection is injective (no duplicate rows possible) exactly
+            # when the kept names still cover every source column.
+            dedup = set(term.projection) != set(stored)
+            return ScanOp(term.projection, closed, term.name, indices, dedup)
+        if isinstance(term, Var):
+            bound = var_env.get(term.name, term.var_columns)
+            return VarOp(bound, False, term.name)
+        if isinstance(term, Project):
+            child = self.compile(term.child, var_env)
+            indices = [child.columns.index(c) for c in term.keep]
+            dedup = set(term.keep) != set(child.columns)
+            return ProjectOp(term.keep, closed, child, indices, dedup)
+        if isinstance(term, Rename):
+            child = self.compile(term.child, var_env)
+            mapping = dict(term.mapping)
+            renamed = tuple(mapping.get(c, c) for c in child.columns)
+            return RenameOp(renamed, closed, child)
+        if isinstance(term, SelectEq):
+            child = self.compile(term.child, var_env)
+            return SelectEqOp(
+                child.columns,
+                closed,
+                child,
+                child.columns.index(term.column_a),
+                child.columns.index(term.column_b),
+            )
+        if isinstance(term, Join):
+            left = self.compile(term.left, var_env)
+            right = self.compile(term.right, var_env)
+            shared = tuple(c for c in left.columns if c in right.columns)
+            out = left.columns + tuple(
+                c for c in right.columns if c not in left.columns
+            )
+            layout = [
+                (0, left.columns.index(c))
+                if c in left.columns
+                else (1, right.columns.index(c))
+                for c in out
+            ]
+            return JoinOp(
+                out,
+                closed,
+                left,
+                right,
+                shared,
+                [left.columns.index(c) for c in shared],
+                [right.columns.index(c) for c in shared],
+                layout,
+            )
+        if isinstance(term, RaUnion):
+            left = self.compile(term.left, var_env)
+            right = self.compile(term.right, var_env)
+            if set(left.columns) != set(right.columns):
+                raise EvaluationError(
+                    f"union arms disagree on columns: "
+                    f"{left.columns} vs {right.columns}"
+                )
+            perm = None
+            if right.columns != left.columns:
+                perm = [right.columns.index(c) for c in left.columns]
+            return UnionOp(left.columns, closed, left, right, perm)
+        if isinstance(term, Fix):
+            base = self.compile(term.base, var_env)
+            step_env = dict(var_env)
+            step_env[term.var] = base.columns
+            step = self.compile(term.step, step_env)
+            if set(step.columns) != set(base.columns):
+                raise EvaluationError(
+                    f"fixpoint step columns {step.columns} disagree with "
+                    f"base columns {base.columns}"
+                )
+            perm = None
+            if step.columns != base.columns:
+                perm = [step.columns.index(c) for c in base.columns]
+            return FixOp(
+                base.columns,
+                closed,
+                term.var,
+                base,
+                step,
+                perm,
+                _is_linear(term.step, term.var),
+            )
+        raise EvaluationError(f"unknown RA term {term!r}")
+
+
+def _render(op: PhysOp, indent: int, seen: set[int]) -> str:
+    pad = "  " * indent
+    line = pad + op.label()
+    if id(op) in seen:
+        return line + "  (shared, shown above)"
+    seen.add(id(op))
+    parts = [line]
+    parts.extend(_render(child, indent + 1, seen) for child in op.children())
+    return "\n".join(parts)

@@ -1,0 +1,141 @@
+"""Dictionary encoding of store values into dense integer ids.
+
+Columnar operators work on integer codes only: every node id, string and
+property constant in a :class:`~repro.storage.relational.RelationalStore`
+is interned into one store-wide :class:`ValueDictionary` (store-wide, not
+per-column, so natural-join key columns from different tables share a code
+space and joins compare raw integers).
+
+Encodings are snapshots: :func:`encoding_for` caches one
+:class:`StoreEncoding` per store and rebuilds it when the store's
+``version`` counter moves (``add_table``/``add_alias``). Individual tables
+are encoded lazily on first scan and the encoded columns are additionally
+cached per kernel, so repeated executions touch no Python-object hashing
+at all.
+"""
+
+from __future__ import annotations
+
+import weakref
+from weakref import WeakKeyDictionary
+
+from repro.storage.relational import RelationalStore
+
+
+class ValueDictionary:
+    """Bidirectional mapping between values and dense integer codes.
+
+    Codes are assigned in first-seen order starting at 0; ``decode`` is a
+    plain list index. Values must be hashable (node ids, strings, numbers
+    and ``None`` — everything a store row can hold).
+    """
+
+    __slots__ = ("_codes", "_values")
+
+    def __init__(self) -> None:
+        self._codes: dict = {}
+        self._values: list = []
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def encode(self, value) -> int:
+        """Return the code for ``value``, interning it if new."""
+        code = self._codes.get(value)
+        if code is None:
+            code = len(self._values)
+            self._codes[value] = code
+            self._values.append(value)
+        return code
+
+    def lookup(self, value) -> int | None:
+        """The code for ``value`` if already interned, else None."""
+        return self._codes.get(value)
+
+    def decode(self, code: int):
+        return self._values[code]
+
+    def decode_row(self, row) -> tuple:
+        values = self._values
+        return tuple(values[code] for code in row)
+
+
+class EncodedTable:
+    """One store table as columns of integer codes."""
+
+    __slots__ = ("name", "columns", "codes", "nrows", "_kernel_tables")
+
+    def __init__(
+        self,
+        name: str,
+        columns: tuple[str, ...],
+        codes: list[list[int]],
+        nrows: int,
+    ):
+        self.name = name
+        self.columns = columns
+        self.codes = codes
+        self.nrows = nrows
+        self._kernel_tables: dict[str, object] = {}
+
+    def kernel_table(self, kernel):
+        """The kernel-native column container (cached per kernel)."""
+        table = self._kernel_tables.get(kernel.NAME)
+        if table is None:
+            table = kernel.from_columns(self.codes, self.nrows)
+            self._kernel_tables[kernel.NAME] = table
+        return table
+
+
+class StoreEncoding:
+    """Dictionary-encoded snapshot of one relational store."""
+
+    def __init__(self, store: RelationalStore):
+        # Weak, so the cache entry in ``_ENCODINGS`` (whose value this
+        # snapshot is) cannot pin its own key alive forever.
+        self._store_ref = weakref.ref(store)
+        self.version = store.version
+        self.dictionary = ValueDictionary()
+        self._tables: dict[str, EncodedTable] = {}
+
+    @property
+    def store(self) -> RelationalStore:
+        store = self._store_ref()
+        if store is None:  # pragma: no cover - caller always holds the store
+            raise ReferenceError("the encoded store no longer exists")
+        return store
+
+    def table(self, name: str) -> EncodedTable:
+        """Encode (once) and return the named table or alias view."""
+        encoded = self._tables.get(name)
+        if encoded is None:
+            table = self.store.table(name)
+            encode = self.dictionary.encode
+            codes: list[list[int]] = [[] for _ in table.columns]
+            for row in table.rows:
+                for position, value in enumerate(row):
+                    codes[position].append(encode(value))
+            encoded = EncodedTable(
+                name, table.columns, codes, table.row_count
+            )
+            self._tables[name] = encoded
+        return encoded
+
+    @property
+    def domain_size(self) -> int:
+        """Number of interned values (the base for key packing)."""
+        return max(len(self.dictionary), 1)
+
+
+_ENCODINGS: "WeakKeyDictionary[RelationalStore, StoreEncoding]" = (
+    WeakKeyDictionary()
+)
+
+
+def encoding_for(store: RelationalStore) -> StoreEncoding:
+    """The cached encoding snapshot for ``store``'s current version."""
+    encoding = _ENCODINGS.get(store)
+    if encoding is None or encoding.version != store.version:
+        encoding = StoreEncoding(store)
+        _ENCODINGS[store] = encoding
+    return encoding

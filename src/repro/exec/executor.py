@@ -1,0 +1,166 @@
+"""Execute compiled columnar programs against an encoded store.
+
+Evaluation is batch-at-a-time: every operator consumes and produces whole
+tables of integer-code columns through one of the
+:mod:`repro.exec.kernels` implementations. Fixpoints run semi-naive
+iteration over *delta frontiers* — each round binds the recursion
+variable to only the rows discovered in the previous round and the
+round's output is set-differenced against the accumulated state with one
+vectorized membership test (falling back to naive iteration for
+non-linear steps, exactly like the interpreter).
+
+All base tables referenced by the program are dictionary-encoded up
+front, so the value-id space is frozen for the whole execution — packed
+multi-column keys stay stable across fixpoint rounds.
+
+The executor honours the same cooperative
+:class:`~repro.graph.evaluator.EvalBudget` as the other engines.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EvaluationError
+from repro.exec.compile import (
+    CompiledProgram,
+    FixOp,
+    JoinOp,
+    PhysOp,
+    ProjectOp,
+    RenameOp,
+    ScanOp,
+    SelectEqOp,
+    UnionOp,
+    VarOp,
+)
+from repro.exec.dictionary import StoreEncoding, encoding_for
+from repro.exec.kernels import default_kernel
+from repro.graph.evaluator import EvalBudget
+from repro.storage.relational import RelationalStore
+
+_NO_BUDGET = EvalBudget(None)
+
+
+def execute_program(
+    program: CompiledProgram,
+    store: RelationalStore,
+    head: tuple[str, ...] | None = None,
+    budget: EvalBudget | None = None,
+    kernel=None,
+) -> frozenset[tuple]:
+    """Run ``program`` on ``store``; returns decoded, head-ordered rows."""
+    kernel = kernel or default_kernel()
+    encoding = encoding_for(store)
+    runner = _Runner(program, encoding, kernel, budget or _NO_BUDGET)
+    table = runner.run()
+    columns = program.columns
+    if head is not None and head != columns:
+        table = kernel.select_columns(
+            table, [columns.index(column) for column in head]
+        )
+    decode_row = encoding.dictionary.decode_row
+    return frozenset(decode_row(row) for row in kernel.to_rows(table))
+
+
+class _Runner:
+    def __init__(
+        self,
+        program: CompiledProgram,
+        encoding: StoreEncoding,
+        kernel,
+        budget: EvalBudget,
+    ):
+        self.program = program
+        self.encoding = encoding
+        self.kernel = kernel
+        self.budget = budget
+        self._memo: dict[int, object] = {}
+        # Encode every referenced table before executing: operators never
+        # intern new values, so the packing domain is fixed from here on.
+        for name in program.scan_tables:
+            encoding.table(name)
+        self.domain = encoding.domain_size
+
+    def run(self):
+        return self._eval(self.program.root, {})
+
+    def _eval(self, op: PhysOp, env: dict):
+        if op.closed:
+            hit = self._memo.get(id(op))
+            if hit is not None:
+                return hit
+        result = self._eval_uncached(op, env)
+        self.budget.tick(self.kernel.nrows(result))
+        if op.closed:
+            self._memo[id(op)] = result
+        return result
+
+    def _eval_uncached(self, op: PhysOp, env: dict):
+        kernel = self.kernel
+        if isinstance(op, ScanOp):
+            table = self.encoding.table(op.table).kernel_table(kernel)
+            if op.indices is not None:
+                table = kernel.select_columns(table, op.indices)
+                if op.dedup:
+                    table = kernel.distinct(table, self.domain)
+            return table
+        if isinstance(op, VarOp):
+            bound = env.get(op.name)
+            if bound is None:
+                raise EvaluationError(
+                    f"unbound recursion variable {op.name!r}"
+                )
+            return bound
+        if isinstance(op, ProjectOp):
+            table = kernel.select_columns(
+                self._eval(op.child, env), op.indices
+            )
+            if op.dedup:
+                table = kernel.distinct(table, self.domain)
+            return table
+        if isinstance(op, RenameOp):
+            return self._eval(op.child, env)
+        if isinstance(op, SelectEqOp):
+            return kernel.select_eq(
+                self._eval(op.child, env), op.index_a, op.index_b
+            )
+        if isinstance(op, JoinOp):
+            return kernel.join(
+                self._eval(op.left, env),
+                self._eval(op.right, env),
+                op.left_key,
+                op.right_key,
+                op.layout,
+                self.domain,
+            )
+        if isinstance(op, UnionOp):
+            left = self._eval(op.left, env)
+            right = self._eval(op.right, env)
+            if op.right_perm is not None:
+                right = kernel.select_columns(right, op.right_perm)
+            return kernel.distinct(kernel.concat(left, right), self.domain)
+        if isinstance(op, FixOp):
+            return self._eval_fixpoint(op, env)
+        raise EvaluationError(f"unknown physical operator {op!r}")
+
+    def _step(self, op: FixOp, env: dict, frontier):
+        step_env = dict(env)
+        step_env[op.var] = frontier
+        produced = self._eval(op.step, step_env)
+        if op.step_perm is not None:
+            produced = self.kernel.select_columns(produced, op.step_perm)
+        return produced
+
+    def _eval_fixpoint(self, op: FixOp, env: dict):
+        kernel = self.kernel
+        base = self._eval(op.base, env)
+        state = kernel.empty_state()
+        delta, state = kernel.difference(base, state, self.domain)
+        total = delta
+        while kernel.nrows(delta):
+            self.budget.check_now()
+            # Semi-naive: only the frontier feeds a linear step; a
+            # non-linear step must see the whole accumulated relation.
+            produced = self._step(op, env, delta if op.linear else total)
+            delta, state = kernel.difference(produced, state, self.domain)
+            total = kernel.concat(total, delta)
+        return total

@@ -1,0 +1,61 @@
+"""Columnar kernel selection.
+
+A *kernel* is a module implementing the batch primitives the executor
+needs over tables of integer-code columns:
+
+======================  ======================================================
+``NAME``                kernel identifier (``"numpy"`` / ``"python"``)
+``from_columns(c, n)``  build a table from lists of column codes
+``from_rows(r, w)``     build a table from row tuples (tests, fixpoint glue)
+``to_rows(t)``          materialise row tuples
+``nrows(t)``            row count
+``width(t)``            column count
+``empty(w)``            the empty table of ``w`` columns
+``select_columns``      gather/permute columns by position
+``distinct``            drop duplicate rows
+``select_eq``           keep rows where two columns hold equal codes
+``concat``              stack two same-width tables
+``join``                natural (hash/sort) join on encoded key columns
+``empty_state()``       fresh seen-row state for fixpoint difference
+``difference``          rows not yet in the state; returns (delta, state)
+======================  ======================================================
+
+:mod:`repro.exec.kernels_numpy` vectorizes these over ``numpy`` arrays;
+:mod:`repro.exec.kernels_python` is a dependency-free columnar fallback so
+the ``vec`` backend works on a bare CPython install. Both produce
+identical row sets — a property the test suite checks directly.
+"""
+
+from __future__ import annotations
+
+from repro.exec import kernels_python
+
+try:  # pragma: no cover - exercised via whichever kernel is active
+    from repro.exec import kernels_numpy
+except ImportError:  # pragma: no cover - numpy genuinely absent
+    kernels_numpy = None  # type: ignore[assignment]
+
+_DEFAULT = kernels_numpy if kernels_numpy is not None else kernels_python
+
+
+def default_kernel():
+    """The fastest available kernel module (numpy when importable)."""
+    return _DEFAULT
+
+
+def available_kernels() -> tuple[str, ...]:
+    names = [kernels_python.NAME]
+    if kernels_numpy is not None:
+        names.insert(0, kernels_numpy.NAME)
+    return tuple(names)
+
+
+def get_kernel(name: str):
+    """Resolve a kernel module by name."""
+    if name == kernels_python.NAME:
+        return kernels_python
+    if kernels_numpy is not None and name == kernels_numpy.NAME:
+        return kernels_numpy
+    raise ValueError(
+        f"unknown kernel {name!r}; available: {available_kernels()}"
+    )

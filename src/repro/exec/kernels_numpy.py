@@ -1,0 +1,232 @@
+"""NumPy columnar kernels.
+
+Tables are lists of ``int64`` arrays. Multi-column row identity is
+handled by *key packing*: because every code is a dense dictionary id in
+``[0, domain)``, a row over ``k`` columns packs into the single integer
+``c_0·domain^(k-1) + … + c_k`` whenever ``domain^k`` fits in an int64 —
+which turns distinct, join-key matching and fixpoint set difference into
+flat operations over one integer array (``np.unique``, ``argsort`` +
+``searchsorted``, ``np.isin``). When a row is too wide to pack the
+kernels fall back to ``np.unique(axis=0)`` row handling; results are
+identical either way.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+NAME = "numpy"
+
+#: Packed keys must stay below this bound (headroom under 2^63 - 1).
+_PACK_LIMIT = 1 << 62
+
+_INT = np.int64
+
+
+class NpTable:
+    """Columns of integer codes over an explicit row count."""
+
+    __slots__ = ("cols", "n")
+
+    def __init__(self, cols: list[np.ndarray], n: int):
+        self.cols = cols
+        self.n = n
+
+
+def from_columns(codes: list[list[int]], nrows: int) -> NpTable:
+    return NpTable([np.asarray(column, dtype=_INT) for column in codes], nrows)
+
+
+def from_rows(rows: Iterable[tuple[int, ...]], width: int) -> NpTable:
+    rows = list(rows)
+    if not rows:
+        return empty(width)
+    data = np.asarray(rows, dtype=_INT)
+    return NpTable([data[:, i] for i in range(width)], len(rows))
+
+
+def to_rows(table: NpTable) -> list[tuple[int, ...]]:
+    if not table.cols:
+        return [()] * table.n
+    stacked = np.stack(table.cols, axis=1)
+    return [tuple(row) for row in stacked.tolist()]
+
+
+def nrows(table: NpTable) -> int:
+    return table.n
+
+
+def width(table: NpTable) -> int:
+    return len(table.cols)
+
+
+def empty(width: int) -> NpTable:
+    return NpTable([np.empty(0, dtype=_INT) for _ in range(width)], 0)
+
+
+def select_columns(table: NpTable, indices: list[int]) -> NpTable:
+    return NpTable([table.cols[i] for i in indices], table.n)
+
+
+def _take(table: NpTable, row_indices: np.ndarray) -> NpTable:
+    return NpTable(
+        [column[row_indices] for column in table.cols], len(row_indices)
+    )
+
+
+def _pack(table: NpTable, indices: list[int], domain: int) -> np.ndarray | None:
+    """Pack the keyed columns into one int64 key array (None on overflow)."""
+    span = 1
+    for _ in indices:
+        span *= domain
+        if span >= _PACK_LIMIT:
+            return None
+    if not indices:
+        return np.zeros(table.n, dtype=_INT)
+    key = table.cols[indices[0]].copy()
+    for index in indices[1:]:
+        key *= domain
+        key += table.cols[index]
+    return key
+
+
+def distinct(table: NpTable, domain: int) -> NpTable:
+    if table.n <= 1 or not table.cols:
+        return table
+    key = _pack(table, list(range(len(table.cols))), domain)
+    if key is not None:
+        _, first = np.unique(key, return_index=True)
+        if len(first) == table.n:
+            return table
+        return _take(table, first)
+    unique = np.unique(np.stack(table.cols, axis=1), axis=0)
+    return NpTable(
+        [unique[:, i] for i in range(len(table.cols))], unique.shape[0]
+    )
+
+
+def select_eq(table: NpTable, index_a: int, index_b: int) -> NpTable:
+    mask = table.cols[index_a] == table.cols[index_b]
+    return NpTable([column[mask] for column in table.cols], int(mask.sum()))
+
+
+def concat(left: NpTable, right: NpTable) -> NpTable:
+    if left.n == 0:
+        return right
+    if right.n == 0:
+        return left
+    cols = [
+        np.concatenate((a, b)) for a, b in zip(left.cols, right.cols)
+    ]
+    return NpTable(cols, left.n + right.n)
+
+
+def join(
+    left: NpTable,
+    right: NpTable,
+    left_key: list[int],
+    right_key: list[int],
+    layout: list[tuple[int, int]],
+    domain: int,
+) -> NpTable:
+    """Natural join; ``layout`` maps output columns to (side, column)."""
+    left_packed = _pack(left, left_key, domain)
+    right_packed = _pack(right, right_key, domain)
+    if left_packed is None or right_packed is None:
+        return _join_unpackable(left, right, left_key, right_key, layout)
+
+    # Sort the smaller side, binary-search with the larger.
+    if left.n <= right.n:
+        build, probe = left, right
+        build_packed, probe_packed = left_packed, right_packed
+        build_side = 0
+    else:
+        build, probe = right, left
+        build_packed, probe_packed = right_packed, left_packed
+        build_side = 1
+
+    order = np.argsort(build_packed, kind="stable")
+    sorted_keys = build_packed[order]
+    lo = np.searchsorted(sorted_keys, probe_packed, side="left")
+    hi = np.searchsorted(sorted_keys, probe_packed, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return empty(len(layout))
+    probe_idx = np.repeat(np.arange(probe.n, dtype=_INT), counts)
+    starts = np.repeat(lo, counts)
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    build_idx = order[np.arange(total, dtype=_INT) - offsets + starts]
+
+    out_cols = []
+    for side, column_index in layout:
+        if side == build_side:
+            out_cols.append(build.cols[column_index][build_idx])
+        else:
+            out_cols.append(probe.cols[column_index][probe_idx])
+    return NpTable(out_cols, total)
+
+
+def _join_unpackable(
+    left: NpTable,
+    right: NpTable,
+    left_key: list[int],
+    right_key: list[int],
+    layout: list[tuple[int, int]],
+) -> NpTable:
+    """Dict-based fallback when the join key is too wide to pack."""
+    build_rows = to_rows(select_columns(left, left_key))
+    table: dict[tuple, list[int]] = {}
+    for position, key in enumerate(build_rows):
+        table.setdefault(key, []).append(position)
+    left_idx: list[int] = []
+    right_idx: list[int] = []
+    for position, key in enumerate(to_rows(select_columns(right, right_key))):
+        matches = table.get(key)
+        if matches:
+            left_idx.extend(matches)
+            right_idx.extend([position] * len(matches))
+    left_take = np.asarray(left_idx, dtype=_INT)
+    right_take = np.asarray(right_idx, dtype=_INT)
+    out_cols = []
+    for side, column_index in layout:
+        if side == 0:
+            out_cols.append(left.cols[column_index][left_take])
+        else:
+            out_cols.append(right.cols[column_index][right_take])
+    return NpTable(out_cols, len(left_idx))
+
+
+def empty_state():
+    return None
+
+
+def difference(table: NpTable, state, domain: int):
+    """Rows of ``table`` not yet in ``state``; returns (delta, state).
+
+    The state is a sorted array of packed row keys when the row width
+    packs into int64, else a Python set of row tuples.
+    """
+    key = _pack(table, list(range(len(table.cols))), domain)
+    if key is None:
+        if state is None:
+            state = set()
+        fresh = [row for row in set(to_rows(table)) if row not in state]
+        state.update(fresh)
+        return from_rows(fresh, len(table.cols)), state
+    if state is None:
+        state = np.empty(0, dtype=_INT)
+    # The state stays sorted, so membership is a binary search and the
+    # fresh keys merge in with one linear pass (np.insert at sorted
+    # positions) — no per-round re-sort of the whole accumulated set.
+    positions = np.searchsorted(state, key)
+    found = np.zeros(len(key), dtype=bool)
+    in_bounds = positions < len(state)
+    found[in_bounds] = state[positions[in_bounds]] == key[in_bounds]
+    mask = ~found
+    delta = NpTable([column[mask] for column in table.cols], int(mask.sum()))
+    fresh = np.sort(key[mask])
+    state = np.insert(state, np.searchsorted(state, fresh), fresh)
+    return delta, state

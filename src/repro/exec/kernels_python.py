@@ -1,0 +1,131 @@
+"""Pure-Python columnar kernels (no third-party dependencies).
+
+Operates column-at-a-time over plain lists of integer codes. Slower than
+the numpy kernels but still batch-oriented (tight comprehensions over
+integer columns, dict-of-int hash joins), and always available — the
+``vec`` backend degrades to this module when numpy is not installed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class PyTable:
+    """Columns of integer codes over an explicit row count."""
+
+    __slots__ = ("cols", "n")
+
+    def __init__(self, cols: list[list[int]], n: int):
+        self.cols = cols
+        self.n = n
+
+
+NAME = "python"
+
+
+def from_columns(codes: list[list[int]], nrows: int) -> PyTable:
+    return PyTable([list(column) for column in codes], nrows)
+
+
+def from_rows(rows: Iterable[tuple[int, ...]], width: int) -> PyTable:
+    rows = list(rows)
+    if not rows:
+        return empty(width)
+    return PyTable([list(column) for column in zip(*rows)], len(rows))
+
+
+def to_rows(table: PyTable) -> list[tuple[int, ...]]:
+    if not table.cols:
+        return [()] * table.n
+    return list(zip(*table.cols))
+
+
+def nrows(table: PyTable) -> int:
+    return table.n
+
+
+def width(table: PyTable) -> int:
+    return len(table.cols)
+
+
+def empty(width: int) -> PyTable:
+    return PyTable([[] for _ in range(width)], 0)
+
+
+def select_columns(table: PyTable, indices: list[int]) -> PyTable:
+    return PyTable([table.cols[i] for i in indices], table.n)
+
+
+def distinct(table: PyTable, domain: int) -> PyTable:
+    unique = set(to_rows(table))
+    if len(unique) == table.n:
+        return table
+    return from_rows(unique, len(table.cols))
+
+
+def select_eq(table: PyTable, index_a: int, index_b: int) -> PyTable:
+    column_a = table.cols[index_a]
+    column_b = table.cols[index_b]
+    keep = [i for i, (a, b) in enumerate(zip(column_a, column_b)) if a == b]
+    cols = [[column[i] for i in keep] for column in table.cols]
+    return PyTable(cols, len(keep))
+
+
+def concat(left: PyTable, right: PyTable) -> PyTable:
+    cols = [a + b for a, b in zip(left.cols, right.cols)]
+    return PyTable(cols, left.n + right.n)
+
+
+def join(
+    left: PyTable,
+    right: PyTable,
+    left_key: list[int],
+    right_key: list[int],
+    layout: list[tuple[int, int]],
+    domain: int,
+) -> PyTable:
+    """Natural join; ``layout`` maps output columns to (side, column)."""
+    # Build the hash table on the smaller side.
+    if left.n <= right.n:
+        build, probe = left, right
+        build_key, probe_key = left_key, right_key
+        build_side = 0
+    else:
+        build, probe = right, left
+        build_key, probe_key = right_key, left_key
+        build_side = 1
+
+    build_rows = to_rows(select_columns(build, build_key))
+    table: dict[tuple, list[int]] = {}
+    for position, key in enumerate(build_rows):
+        table.setdefault(key, []).append(position)
+
+    probe_rows = to_rows(select_columns(probe, probe_key))
+    probe_idx: list[int] = []
+    build_idx: list[int] = []
+    for position, key in enumerate(probe_rows):
+        matches = table.get(key)
+        if matches:
+            probe_idx.extend([position] * len(matches))
+            build_idx.extend(matches)
+
+    out_cols: list[list[int]] = []
+    for side, column_index in layout:
+        if side == build_side:
+            source, idx = build.cols[column_index], build_idx
+        else:
+            source, idx = probe.cols[column_index], probe_idx
+        out_cols.append([source[i] for i in idx])
+    return PyTable(out_cols, len(probe_idx))
+
+
+def empty_state():
+    return set()
+
+
+def difference(table: PyTable, state: set, domain: int):
+    """Rows of ``table`` not yet in ``state``; updates and returns state."""
+    fresh = [row for row in set(to_rows(table)) if row not in state]
+    state.update(fresh)
+    return from_rows(fresh, len(table.cols)), state

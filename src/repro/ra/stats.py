@@ -8,7 +8,9 @@ drive the optimizer's join ordering and the Fig. 17 EXPLAIN costs.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
+from weakref import WeakKeyDictionary
 
 from repro.ra.terms import (
     Fix,
@@ -27,6 +29,60 @@ from repro.storage.relational import RelationalStore
 #: engines estimate recursive CTEs crudely too (PostgreSQL assumes 10x the
 #: non-recursive term); 4x keeps plans sensible at our scales.
 FIXPOINT_GROWTH = 4.0
+
+
+class StoreStatistics:
+    """Memoised per-table row and NDV statistics for one store snapshot.
+
+    ``Table.distinct_count`` rescans every row; the optimizer asks for the
+    same counts on every call (one fresh :class:`Estimator` per
+    ``optimize_term``), so the scans are cached here per
+    ``(store, store.version)`` snapshot. ``add_table``/``add_alias`` bump
+    the version, which retires the snapshot on the next lookup.
+    """
+
+    def __init__(self, store: RelationalStore):
+        # Weak, so the cache entry in ``_STATISTICS`` (whose value this
+        # snapshot is) cannot pin its own key alive forever.
+        self._store_ref = weakref.ref(store)
+        self.version = store.version
+        self._rows: dict[str, int] = {}
+        self._ndv: dict[tuple[str, str], int] = {}
+
+    def _table(self, name: str):
+        store = self._store_ref()
+        if store is None:  # pragma: no cover - caller always holds the store
+            raise ReferenceError("the profiled store no longer exists")
+        return store.table(name)
+
+    def row_count(self, name: str) -> int:
+        cached = self._rows.get(name)
+        if cached is None:
+            cached = self._table(name).row_count
+            self._rows[name] = cached
+        return cached
+
+    def distinct_count(self, name: str, column: str) -> int:
+        key = (name, column)
+        cached = self._ndv.get(key)
+        if cached is None:
+            cached = self._table(name).distinct_count(column)
+            self._ndv[key] = cached
+        return cached
+
+
+_STATISTICS: "WeakKeyDictionary[RelationalStore, StoreStatistics]" = (
+    WeakKeyDictionary()
+)
+
+
+def store_statistics(store: RelationalStore) -> StoreStatistics:
+    """The memoised statistics snapshot for ``store``'s current version."""
+    stats = _STATISTICS.get(store)
+    if stats is None or stats.version != store.version:
+        stats = StoreStatistics(store)
+        _STATISTICS[store] = stats
+    return stats
 
 
 @dataclass(frozen=True)
@@ -70,12 +126,13 @@ class Estimator:
 
     def _compute(self, term: RaTerm) -> Estimate:
         if isinstance(term, Rel):
-            table = self.store.table(term.name)
-            columns = term.projection or table.columns
+            stats = store_statistics(self.store)
+            columns = term.projection or self.store.table(term.name).columns
             distinct = tuple(
-                (c, float(table.distinct_count(c))) for c in columns
+                (c, float(stats.distinct_count(term.name, c)))
+                for c in columns
             )
-            return Estimate(float(table.row_count), distinct)
+            return Estimate(float(stats.row_count(term.name)), distinct)
         if isinstance(term, Var):
             # Recursion variables stand for the running fixpoint delta; a
             # flat default keeps join-order decisions inside steps sane.

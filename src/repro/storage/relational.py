@@ -51,6 +51,18 @@ class RelationalStore:
         self._alias_tables: dict[str, Table] = {}
         self._node_labels: set[str] = set()
         self._edge_labels: set[str] = set()
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Snapshot counter, bumped by ``add_table``/``add_alias``.
+
+        Derived caches (memoised statistics, dictionary encodings) key on
+        ``(store, version)`` so they invalidate automatically when the
+        set of tables changes. Mutating ``Table.rows`` directly bypasses
+        the counter — register tables through ``add_table`` instead.
+        """
+        return self._version
 
     # -- loading -----------------------------------------------------------
     @classmethod
@@ -94,6 +106,7 @@ class RelationalStore:
             raise EvaluationError(f"duplicate table name {table.name!r}")
         self._tables[table.name] = table
         self._alias_tables.clear()
+        self._version += 1
         if node_label:
             self._node_labels.add(table.name)
         else:
@@ -110,6 +123,7 @@ class RelationalStore:
         if name in self._tables or name in self._aliases:
             raise EvaluationError(f"duplicate table name {name!r}")
         self._aliases[name] = members
+        self._version += 1
 
     # -- access -----------------------------------------------------------
     def has_table(self, name: str) -> bool:

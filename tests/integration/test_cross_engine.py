@@ -1,14 +1,16 @@
-"""Integration: all 48 workload queries × 4 engines × {baseline, schema}.
+"""Integration: all 48 workload queries × 5 engines × {baseline, schema}.
 
 This is the repository's flagship correctness gate: every query of
 Tables 4 and the YAGO workload must produce identical results on the
-reference evaluator, the µ-RA engine (optimised), SQLite, and the
-graph-pattern engine — for both the baseline and the rewritten query.
+reference evaluator, the µ-RA engine (optimised), the vectorized
+columnar engine, SQLite, and the graph-pattern engine — for both the
+baseline and the rewritten query.
 """
 
 import pytest
 
 from repro.core.rewriter import rewrite_query
+from repro.exec import compile_term, execute_program
 from repro.gdb.engine import PatternEngine
 from repro.query.evaluation import evaluate_ucqt
 from repro.ra.evaluate import evaluate_term
@@ -46,6 +48,9 @@ def _assert_engines_agree(schema, graph, store, backend, pattern_engine, query):
         term = optimize_term(ucqt_to_ra(variant, TranslationContext()), store)
         _columns, rows = evaluate_term(term, store)
         assert frozenset(rows) == reference, f"{variant_name} on ra"
+        program = compile_term(term, store)
+        vec_rows = execute_program(program, store, head=variant.head)
+        assert vec_rows == reference, f"{variant_name} on vec"
         assert backend.execute_ucqt(variant) == reference, (
             f"{variant_name} on sqlite"
         )

@@ -1,0 +1,311 @@
+"""Unit tests for the vectorized columnar execution subsystem.
+
+Covers dictionary-encoding round trips, encoding-snapshot invalidation,
+kernel parity (numpy vs pure-Python fallback), empty and degenerate
+fixpoints, the memoised optimizer statistics, and the CLI's live-registry
+backend validation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.engine import GraphSession
+from repro.exec import (
+    ValueDictionary,
+    available_kernels,
+    compile_term,
+    encoding_for,
+    execute_program,
+    get_kernel,
+)
+from repro.exec.compile import FixOp, ScanOp
+from repro.graph.model import yago_example_graph
+from repro.ra.stats import Estimator, store_statistics
+from repro.ra.terms import Fix, Join, Project, Rel, Rename, Var
+from repro.schema.builder import yago_example_schema
+from repro.storage.relational import RelationalStore, Table
+
+KERNELS = available_kernels()
+
+
+@pytest.fixture()
+def example_session():
+    with GraphSession(yago_example_graph(), yago_example_schema()) as session:
+        yield session
+
+
+# -- dictionary encoding ------------------------------------------------------
+class TestValueDictionary:
+    def test_round_trip_mixed_values(self):
+        dictionary = ValueDictionary()
+        values = [0, 1, "Paris", None, -7, "0", 3.5, ""]
+        codes = [dictionary.encode(v) for v in values]
+        assert codes == list(range(len(values)))  # dense, first-seen order
+        assert [dictionary.decode(c) for c in codes] == values
+        assert dictionary.decode_row(tuple(codes)) == tuple(values)
+
+    def test_encode_is_idempotent(self):
+        dictionary = ValueDictionary()
+        first = dictionary.encode("x")
+        assert dictionary.encode("x") == first
+        assert len(dictionary) == 1
+        assert dictionary.lookup("x") == first
+        assert dictionary.lookup("missing") is None
+
+
+class TestStoreEncoding:
+    def test_tables_encode_lazily_and_round_trip(self):
+        store = RelationalStore()
+        store.add_table(
+            Table("N", ("Sr", "name"), {(1, "a"), (2, None)}), node_label=True
+        )
+        store.add_table(Table("e", ("Sr", "Tr"), {(1, 2)}), node_label=False)
+        encoding = encoding_for(store)
+        assert len(encoding.dictionary) == 0  # nothing touched yet
+        encoded = encoding.table("N")
+        decoded = {
+            encoding.dictionary.decode_row(row)
+            for row in zip(*encoded.codes)
+        }
+        assert decoded == {(1, "a"), (2, None)}
+
+    def test_snapshot_cached_and_invalidated_on_add_table(self):
+        store = RelationalStore()
+        store.add_table(Table("e", ("Sr", "Tr"), {(1, 2)}), node_label=False)
+        first = encoding_for(store)
+        assert encoding_for(store) is first
+        store.add_table(Table("f", ("Sr", "Tr"), set()), node_label=False)
+        assert encoding_for(store) is not first
+
+
+# -- kernel parity ------------------------------------------------------------
+@pytest.mark.parametrize("kernel_name", KERNELS)
+class TestKernels:
+    def test_distinct_and_select_eq(self, kernel_name):
+        kernel = get_kernel(kernel_name)
+        table = kernel.from_rows([(1, 1), (1, 2), (1, 1), (2, 2)], 2)
+        assert set(kernel.to_rows(kernel.distinct(table, 10))) == {
+            (1, 1), (1, 2), (2, 2),
+        }
+        assert set(kernel.to_rows(kernel.select_eq(table, 0, 1))) == {
+            (1, 1), (2, 2),
+        }
+
+    def test_join_matches_nested_loop(self, kernel_name):
+        kernel = get_kernel(kernel_name)
+        left_rows = [(1, 10), (2, 20), (2, 21), (3, 30)]
+        right_rows = [(2, 5), (3, 6), (3, 7), (4, 8)]
+        left = kernel.from_rows(left_rows, 2)
+        right = kernel.from_rows(right_rows, 2)
+        # Join on column 0 of both; output (key, left payload, right payload).
+        joined = kernel.join(
+            left, right, [0], [0], [(0, 0), (0, 1), (1, 1)], 100
+        )
+        expected = {
+            (a, b, d)
+            for a, b in left_rows
+            for c, d in right_rows
+            if a == c
+        }
+        assert set(kernel.to_rows(joined)) == expected
+
+    def test_difference_tracks_seen_rows(self, kernel_name):
+        kernel = get_kernel(kernel_name)
+        state = kernel.empty_state()
+        first, state = kernel.difference(
+            kernel.from_rows([(1, 2), (3, 4)], 2), state, 10
+        )
+        assert set(kernel.to_rows(first)) == {(1, 2), (3, 4)}
+        second, state = kernel.difference(
+            kernel.from_rows([(3, 4), (5, 6)], 2), state, 10
+        )
+        assert set(kernel.to_rows(second)) == {(5, 6)}
+
+    def test_empty_table_round_trip(self, kernel_name):
+        kernel = get_kernel(kernel_name)
+        table = kernel.from_rows([], 3)
+        assert kernel.nrows(table) == 0
+        assert kernel.width(table) == 3
+        assert kernel.to_rows(table) == []
+
+
+@pytest.mark.parametrize("kernel_name", KERNELS)
+def test_kernels_agree_with_reference_on_example(kernel_name, example_session):
+    session = example_session
+    query = "x1, x2 <- (x1, livesIn/isLocatedIn+, x2)"
+    expected = session.execute(query, "reference")
+    prepared = session.prepare(query, "vec")
+    rows = execute_program(
+        prepared.plan.program,
+        session.store,
+        head=prepared.plan.head,
+        kernel=get_kernel(kernel_name),
+    )
+    assert rows == expected
+
+
+# -- fixpoints ----------------------------------------------------------------
+def _closure_term(edge: str) -> Fix:
+    step = Project(
+        Join(
+            Rename.of(Var("X", ("Sr", "Tr")), {"Tr": "m"}),
+            Rename.of(Rel(edge), {"Sr": "m"}),
+        ),
+        ("Sr", "Tr"),
+    )
+    return Fix("X", Rel(edge), step)
+
+
+class TestFixpoints:
+    def test_empty_base_fixpoint(self):
+        store = RelationalStore()
+        store.add_table(Table("e", ("Sr", "Tr"), set()), node_label=False)
+        program = compile_term(_closure_term("e"), store)
+        assert execute_program(program, store) == frozenset()
+
+    def test_single_edge_fixpoint(self):
+        store = RelationalStore()
+        store.add_table(Table("e", ("Sr", "Tr"), {(1, 2)}), node_label=False)
+        program = compile_term(_closure_term("e"), store)
+        assert execute_program(program, store) == {(1, 2)}
+
+    def test_self_loop_terminates(self):
+        store = RelationalStore()
+        store.add_table(Table("e", ("Sr", "Tr"), {(1, 1)}), node_label=False)
+        program = compile_term(_closure_term("e"), store)
+        assert execute_program(program, store) == {(1, 1)}
+
+    def test_chain_closure(self):
+        edges = {(i, i + 1) for i in range(6)}
+        store = RelationalStore()
+        store.add_table(Table("e", ("Sr", "Tr"), edges), node_label=False)
+        program = compile_term(_closure_term("e"), store)
+        expected = frozenset(
+            (i, j) for i in range(7) for j in range(i + 1, 7)
+        )
+        assert execute_program(program, store) == expected
+
+    def test_fixpoint_compiles_semi_naive(self):
+        store = RelationalStore()
+        store.add_table(Table("e", ("Sr", "Tr"), {(1, 2)}), node_label=False)
+        program = compile_term(_closure_term("e"), store)
+        fixes = [
+            op for op in _walk_ops(program.root) if isinstance(op, FixOp)
+        ]
+        assert fixes and all(op.linear for op in fixes)
+
+
+def _walk_ops(op, seen=None):
+    seen = seen if seen is not None else set()
+    if id(op) in seen:
+        return
+    seen.add(id(op))
+    yield op
+    for child in op.children():
+        yield from _walk_ops(child, seen)
+
+
+# -- backend integration ------------------------------------------------------
+class TestVecBackend:
+    def test_explain_shows_logical_and_physical_plans(self, example_session):
+        text = example_session.explain(
+            "x1, x2 <- (x1, isLocatedIn+, x2)", "vec", rewrite=False
+        )
+        assert "-- logical µ-RA plan --" in text
+        assert "-- physical columnar plan" in text
+        assert "SemiNaiveFixpoint" in text
+        assert "DeltaScan" in text
+
+    def test_plan_cache_reuses_compiled_program(self, example_session):
+        query = "x1, x2 <- (x1, isLocatedIn+, x2)"
+        first = example_session.prepare(query, "vec")
+        second = example_session.prepare(query, "vec")
+        assert second.plan is first.plan
+
+    def test_scan_manifest_names_every_base_table(self, example_session):
+        prepared = example_session.prepare(
+            "x1, x2 <- (x1, livesIn/isLocatedIn+, x2)", "vec", rewrite=False
+        )
+        program = prepared.plan.program
+        scans = {
+            op.table
+            for op in _walk_ops(program.root)
+            if isinstance(op, ScanOp)
+        }
+        assert scans == set(program.scan_tables)
+        assert {"livesIn", "isLocatedIn"} <= scans
+
+
+def test_benchmark_context_dispatches_to_vec(example_session):
+    from repro.bench.runner import ENGINES, BenchmarkContext
+    from repro.query.parser import parse_query
+
+    assert "vec" in ENGINES
+    context = BenchmarkContext.from_session(example_session, scale_factor=0.0)
+    query = parse_query("x1, x2 <- (x1, isLocatedIn+, x2)")
+    assert context.execute("vec", query) == context.execute("ra", query)
+
+
+# -- memoised optimizer statistics --------------------------------------------
+class TestStoreStatistics:
+    def test_counts_match_table_scans(self):
+        store = RelationalStore()
+        store.add_table(
+            Table("e", ("Sr", "Tr"), {(1, 2), (1, 3), (2, 3)}),
+            node_label=False,
+        )
+        stats = store_statistics(store)
+        assert stats.row_count("e") == 3
+        assert stats.distinct_count("e", "Sr") == 2
+        assert stats.distinct_count("e", "Tr") == 2
+
+    def test_snapshot_shared_until_add_table(self):
+        store = RelationalStore()
+        store.add_table(Table("e", ("Sr", "Tr"), {(1, 2)}), node_label=False)
+        stats = store_statistics(store)
+        assert store_statistics(store) is stats
+        # Two estimators over the same store share one snapshot.
+        assert Estimator(store).rows(Rel("e")) == 1.0
+        store.add_table(Table("f", ("Sr", "Tr"), set()), node_label=False)
+        assert store_statistics(store) is not stats
+
+    def test_alias_registration_bumps_version(self):
+        store = RelationalStore()
+        store.add_table(Table("A", ("Sr",), {(1,)}), node_label=True)
+        before = store.version
+        store.add_alias("View", ("A",))
+        assert store.version > before
+
+
+# -- CLI validation -----------------------------------------------------------
+class TestCliBackendValidation:
+    def test_unknown_backend_lists_registry(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["query", "x1, x2 <- (x1, e, x2)", "--backend", "nope"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown backend 'nope'" in err
+        assert "vec" in err and "ra" in err and "reference" in err
+
+    def test_unknown_engine_lists_registry(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["bench", "table6", "--engine", "nope"])
+        assert "registered backends" in capsys.readouterr().err
+
+    def test_help_lists_registered_backends(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["query", "--help"])
+        assert excinfo.value.code == 0
+        assert "vec" in capsys.readouterr().out
+
+    def test_vec_accepted(self, capsys):
+        assert (
+            cli_main(
+                ["query", "x1, x2 <- (x1, isLocatedIn+, x2)",
+                 "--backend", "vec", "--limit", "2"]
+            )
+            == 0
+        )
+        assert "on backend 'vec'" in capsys.readouterr().out
