@@ -63,12 +63,16 @@ from repro.graph.model import yago_example_graph
 from repro.query import CQT, UCQT, evaluate_ucqt, parse_query
 from repro.schema import GraphSchema, SchemaBuilder, check_consistency
 from repro.schema.builder import yago_example_schema
+from repro.serve import BatchOutcome, BatchReport, QueryService
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "GraphSession",
     "PreparedQuery",
+    "QueryService",
+    "BatchOutcome",
+    "BatchReport",
     "Backend",
     "register_backend",
     "available_backends",

@@ -1,6 +1,6 @@
 """Command-line entry point (``python -m repro`` or the installed scripts).
 
-Two subcommands:
+Four subcommands:
 
 * ``bench <experiment> [--full] [--engine E]`` — reproduce the paper's
   tables and figures (experiments: table3, table5, table6, fig12, fig13,
@@ -10,6 +10,12 @@ Two subcommands:
 * ``query "<ucqt>" [--dataset D] [--backend B] [--explain] ...`` — run an
   ad-hoc UCQT through a :class:`~repro.engine.session.GraphSession` on
   any registered backend, optionally printing the chosen plan.
+* ``batch [FILE] [--backend B] [--json] ...`` — read one UCQT per line
+  from FILE (or stdin), execute them as one shared batch
+  (:func:`repro.serve.batch.execute_batch`) and report what was shared.
+* ``serve [FILE] [--workers N] [--max-batch K] ...`` — the same workload
+  through the asyncio :class:`~repro.serve.service.QueryService`
+  (bounded worker pool, admission batching).
 """
 
 from __future__ import annotations
@@ -104,6 +110,107 @@ def _run_query(args: argparse.Namespace) -> int:
         return 1
 
 
+def _read_batch_queries(path: str) -> list[str]:
+    """One UCQT per non-blank, non-``#`` line of ``path`` (``-`` = stdin)."""
+    if path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+    queries = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            queries.append(line)
+    return queries
+
+
+def _run_batch(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+
+    try:
+        return _run_batch_inner(args)
+    except ReproError as error:
+        print(f"repro {args.command}: error: {error}", file=sys.stderr)
+        return 1
+
+
+def _run_batch_inner(args: argparse.Namespace) -> int:
+    import json
+
+    queries = _read_batch_queries(args.file)
+    if not queries:
+        print(f"repro {args.command}: no queries to run", file=sys.stderr)
+        return 1
+    rewrite = not args.baseline
+    session = _load_session(args.dataset, args.scale)
+    with session:
+        if args.command == "serve":
+            import asyncio
+
+            from repro.serve import serve_queries
+
+            results, stats = asyncio.run(
+                serve_queries(
+                    session,
+                    queries,
+                    args.backend,
+                    max_batch_size=args.max_batch,
+                    workers=args.workers,
+                    timeout_seconds=args.timeout,
+                    rewrite=rewrite,
+                )
+            )
+            summary = (
+                f"-- served {stats.completed} quer(ies) in {stats.batches} "
+                f"batch(es) of mean size {stats.mean_batch_size:.1f} on "
+                f"backend {args.backend!r} ({stats.shared_plans} answered "
+                f"from a shared plan)"
+            )
+        else:
+            from repro.serve import execute_batch
+
+            outcome = execute_batch(
+                session,
+                queries,
+                args.backend,
+                timeout_seconds=args.timeout,
+                rewrite=rewrite,
+            )
+            results = list(outcome.results)
+            report = outcome.report
+            shared_ops = (
+                f", {report.execution.memo_hits} operator result(s) reused"
+                if report.execution is not None
+                else ""
+            )
+            summary = (
+                f"-- batch of {report.queries} quer(ies) -> "
+                f"{report.distinct_plans} distinct plan(s) on backend "
+                f"{report.backend!r}{shared_ops}"
+            )
+        if args.json:
+            print(
+                json.dumps(
+                    [
+                        {"query": text, "rows": sorted(map(list, rows))}
+                        for text, rows in zip(queries, results)
+                    ],
+                    indent=2,
+                    default=str,
+                )
+            )
+        else:
+            for text, rows in zip(queries, results):
+                print(f"{text}")
+                for row in sorted(rows)[: args.limit]:
+                    print(f"  {row}")
+                print(f"  -- {len(rows)} row(s)")
+        # Keep stdout machine-readable under --json.
+        print(summary, file=sys.stderr if args.json else sys.stdout)
+    return 0
+
+
 def _run_query_inner(args: argparse.Namespace) -> int:
     session = _load_session(args.dataset, args.scale)
     with session:
@@ -136,7 +243,7 @@ def main(argv: list[str] | None = None) -> int:
     # ``repro-bench --full table6``) without the subcommand word.
     if (
         argv
-        and argv[0] not in ("bench", "query")
+        and argv[0] not in ("bench", "query", "batch", "serve")
         and any(arg in EXPERIMENTS for arg in argv)
     ):
         argv = ["bench"] + argv
@@ -195,9 +302,61 @@ def main(argv: list[str] | None = None) -> int:
         "--limit", type=int, default=20, help="rows to print (default 20)"
     )
 
+    for name, help_text in (
+        ("batch", "execute a file of queries as one shared batch"),
+        ("serve", "serve a file of queries through the asyncio QueryService"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument(
+            "file", nargs="?", default="-",
+            help="file with one UCQT per line ('-' or omitted: stdin; "
+            "'#' starts a comment)",
+        )
+        sub.add_argument("--dataset", choices=DATASETS, default="yago-example")
+        sub.add_argument(
+            "--scale", type=float, default=0.5,
+            help="dataset scale factor (ignored for yago-example)",
+        )
+        sub.add_argument(
+            "--backend",
+            default="vec",
+            type=_backend_argument,
+            metavar="BACKEND",
+            help="execution backend "
+            f"(registered: {', '.join(_backend_names())})",
+        )
+        sub.add_argument(
+            "--baseline", action="store_true",
+            help="skip the schema rewriter (run the queries verbatim)",
+        )
+        sub.add_argument(
+            "--timeout", type=float, default=None,
+            help="budget for the whole batch, in seconds",
+        )
+        sub.add_argument(
+            "--limit", type=int, default=5,
+            help="rows to print per query (default 5)",
+        )
+        sub.add_argument(
+            "--json", action="store_true",
+            help="print all results as one JSON document",
+        )
+        if name == "serve":
+            sub.add_argument(
+                "--workers", type=int, default=2,
+                help="drain workers overlapping admission with execution; "
+                "batches execute serially on the one session (default 2)",
+            )
+            sub.add_argument(
+                "--max-batch", type=int, default=16,
+                help="admission batch size cap (default 16)",
+            )
+
     args = parser.parse_args(argv)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command in ("batch", "serve"):
+        return _run_batch(args)
     return _run_query(args)
 
 

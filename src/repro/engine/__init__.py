@@ -14,7 +14,7 @@ The same query string runs unchanged on every registered backend
 planning are cached per (query, schema fingerprint, options).
 """
 
-from repro.engine.cache import CacheStats, LruCache
+from repro.engine.cache import CacheStats, LruCache, freeze_options
 from repro.engine.protocol import (
     Backend,
     available_backends,
@@ -37,4 +37,5 @@ __all__ = [
     "schema_fingerprint",
     "CacheStats",
     "LruCache",
+    "freeze_options",
 ]

@@ -24,12 +24,12 @@ comparable across backends.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Mapping
 
 from repro.engine.protocol import register_backend
 from repro.exec.compile import CompiledProgram, compile_term
 from repro.exec.executor import execute_program
-from repro.exec.kernels import default_kernel
+from repro.exec.kernels import default_kernel, get_kernel
 from repro.gdb.cypher import cypher_expressible, to_cypher
 from repro.gdb.patterns import GraphPattern, ucqt_to_patterns
 from repro.graph.evaluator import EvalBudget
@@ -58,7 +58,12 @@ class RaPlan:
 class RaBackend:
     name = "ra"
 
-    def prepare(self, session: "GraphSession", query: UCQT) -> RaPlan:
+    def prepare(
+        self,
+        session: "GraphSession",
+        query: UCQT,
+        options: Mapping | None = None,
+    ) -> RaPlan:
         term = optimize_term(
             ucqt_to_ra(query, TranslationContext()), session.store
         )
@@ -85,11 +90,16 @@ class RaBackend:
 # -- vectorized columnar engine -----------------------------------------------
 @dataclass(frozen=True)
 class VecPlan:
-    """An optimised µ-RA term compiled to a columnar program."""
+    """An optimised µ-RA term compiled to a columnar program.
+
+    ``kernel`` pins a kernel implementation by name (the ``kernel``
+    backend option); ``None`` means the fastest available one.
+    """
 
     term: RaTerm
     program: CompiledProgram
     head: tuple[str, ...]
+    kernel: str | None = None
 
 
 class VecBackend:
@@ -100,7 +110,15 @@ class VecBackend:
 
     name = "vec"
 
-    def prepare(self, session: "GraphSession", query: UCQT) -> VecPlan:
+    def prepare(
+        self,
+        session: "GraphSession",
+        query: UCQT,
+        options: Mapping | None = None,
+    ) -> VecPlan:
+        kernel = (options or {}).get("kernel")
+        if kernel is not None:
+            get_kernel(kernel)  # fail at prepare time, not execute time
         term = optimize_term(
             ucqt_to_ra(query, TranslationContext()), session.store
         )
@@ -108,6 +126,7 @@ class VecBackend:
             term=term,
             program=compile_term(term, session.store),
             head=query.head,
+            kernel=kernel,
         )
 
     def execute(
@@ -121,12 +140,13 @@ class VecBackend:
             session.store,
             head=plan.head,
             budget=EvalBudget(timeout_seconds),
+            kernel=get_kernel(plan.kernel) if plan.kernel else None,
         )
 
     def explain(self, session: "GraphSession", plan: VecPlan) -> str:
         logical = explain_ra_term(plan.term, session.store)
         physical = plan.program.render()
-        kernel = default_kernel().NAME
+        kernel = plan.kernel or default_kernel().NAME
         return (
             f"-- logical µ-RA plan --\n{logical}\n\n"
             f"-- physical columnar plan ({kernel} kernels) --\n{physical}"
@@ -144,7 +164,12 @@ class SqlPlan:
 class SqliteEngineBackend:
     name = "sqlite"
 
-    def prepare(self, session: "GraphSession", query: UCQT) -> SqlPlan:
+    def prepare(
+        self,
+        session: "GraphSession",
+        query: UCQT,
+        options: Mapping | None = None,
+    ) -> SqlPlan:
         return SqlPlan(sql=ucqt_to_sql(query, session.store))
 
     def execute(
@@ -172,7 +197,12 @@ class GdbPlan:
 class GdbBackend:
     name = "gdb"
 
-    def prepare(self, session: "GraphSession", query: UCQT) -> GdbPlan:
+    def prepare(
+        self,
+        session: "GraphSession",
+        query: UCQT,
+        options: Mapping | None = None,
+    ) -> GdbPlan:
         cypher = to_cypher(query) if cypher_expressible(query) else None
         return GdbPlan(patterns=tuple(ucqt_to_patterns(query)), cypher=cypher)
 
@@ -212,7 +242,12 @@ class ReferencePlan:
 class ReferenceBackend:
     name = "reference"
 
-    def prepare(self, session: "GraphSession", query: UCQT) -> ReferencePlan:
+    def prepare(
+        self,
+        session: "GraphSession",
+        query: UCQT,
+        options: Mapping | None = None,
+    ) -> ReferencePlan:
         return ReferencePlan(query=query)
 
     def execute(

@@ -10,11 +10,40 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Hashable, TypeVar
+from typing import Callable, Hashable, Mapping, TypeVar
 
 V = TypeVar("V")
 
 _MISSING = object()
+
+
+def freeze_options(options: Mapping | None) -> tuple | None:
+    """Canonicalise an options mapping into a hashable cache-key part.
+
+    Mappings become ``(key, value)`` tuples *sorted by key* (recursively,
+    so nested dicts are canonical too) and lists/sets become tuples —
+    two logically identical option dicts built in different insertion
+    orders therefore freeze to the same key instead of fragmenting the
+    LRU with duplicate entries. ``None`` and ``{}`` both freeze to
+    ``None`` (no options).
+    """
+    if not options:
+        return None
+    return tuple(
+        (key, _freeze_value(options[key])) for key in sorted(options)
+    )
+
+
+def _freeze_value(value):
+    if isinstance(value, Mapping):
+        return tuple(
+            (key, _freeze_value(value[key])) for key in sorted(value)
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(_freeze_value(item) for item in value))
+    return value
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,7 @@ entry serves every session.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Mapping, Protocol, runtime_checkable
 
 from repro.query.model import UCQT
 
@@ -28,8 +28,19 @@ class Backend(Protocol):
     #: Registry key and the ``backend=`` argument of ``session.execute``.
     name: str
 
-    def prepare(self, session: "GraphSession", query: UCQT) -> object:
-        """Compile ``query`` into this backend's plan artefact."""
+    def prepare(
+        self,
+        session: "GraphSession",
+        query: UCQT,
+        options: Mapping | None = None,
+    ) -> object:
+        """Compile ``query`` into this backend's plan artefact.
+
+        ``options`` carries backend-specific knobs (e.g. the ``vec``
+        backend's ``{"kernel": ...}``); backends without knobs ignore it.
+        The session canonicalises the mapping into its plan-cache key, so
+        implementations may bake option values into the plan artefact.
+        """
 
     def execute(
         self,

@@ -26,11 +26,11 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.core.rewriter import RewriteOptions, RewriteResult, rewrite_query
 from repro.engine import backends as _backends  # noqa: F401 - registers adapters
-from repro.engine.cache import CacheStats, LruCache
+from repro.engine.cache import CacheStats, LruCache, freeze_options
 from repro.engine.protocol import Backend, available_backends, get_backend
 from repro.gdb.engine import PatternEngine
 from repro.graph.model import PropertyGraph
@@ -112,6 +112,7 @@ class PreparedQuery:
     fingerprint: str
     rewrite: bool
     options: "RewriteOptions | None"
+    backend_options: Mapping | None = None
 
     @property
     def backend_name(self) -> str:
@@ -129,6 +130,7 @@ class PreparedQuery:
                 self.backend.name,
                 rewrite=self.rewrite,
                 options=self.options,
+                backend_options=self.backend_options,
             )
             self.__dict__.update(renewed.__dict__)
 
@@ -248,11 +250,16 @@ class GraphSession:
         *,
         rewrite: bool = True,
         options: RewriteOptions | None = None,
+        backend_options: Mapping | None = None,
     ) -> PreparedQuery:
         """Compile a query for one backend, through both cache layers.
 
         ``rewrite=False`` skips the schema rewriter entirely (the
-        baseline variant of the paper's experiments).
+        baseline variant of the paper's experiments). ``backend_options``
+        carries backend-specific knobs (e.g. ``{"kernel": "python"}`` for
+        ``vec``); the mapping is canonicalised (sorted, recursively) into
+        the plan-cache key, so logically identical option dicts share one
+        cache entry regardless of insertion order.
         """
         query = self._as_query(query)
         backend_impl = get_backend(backend)
@@ -266,7 +273,7 @@ class GraphSession:
         if executed.is_empty:
             return PreparedQuery(
                 self, backend_impl, query, executed, rewrite_result, None,
-                self.schema_fingerprint, rewrite, options,
+                self.schema_fingerprint, rewrite, options, backend_options,
             )
         key = (
             backend_impl.name,
@@ -274,13 +281,20 @@ class GraphSession:
             rewrite,
             self.schema_fingerprint,
             options,
+            freeze_options(backend_options),
         )
-        plan = self._plan_cache.get_or_create(
-            key, lambda: backend_impl.prepare(self, executed)
-        )
+        def prepare_plan():
+            # Only pass options through when present, so pre-options
+            # backends (third-party adapters with a two-argument
+            # ``prepare``) keep working until actually handed options.
+            if backend_options is None:
+                return backend_impl.prepare(self, executed)
+            return backend_impl.prepare(self, executed, backend_options)
+
+        plan = self._plan_cache.get_or_create(key, prepare_plan)
         return PreparedQuery(
             self, backend_impl, query, executed, rewrite_result, plan,
-            self.schema_fingerprint, rewrite, options,
+            self.schema_fingerprint, rewrite, options, backend_options,
         )
 
     def execute(
@@ -291,10 +305,44 @@ class GraphSession:
         timeout_seconds: float | None = None,
         rewrite: bool = True,
         options: RewriteOptions | None = None,
+        backend_options: Mapping | None = None,
     ) -> frozenset[tuple]:
         """Rewrite, plan (both cached) and run a query on one backend."""
-        prepared = self.prepare(query, backend, rewrite=rewrite, options=options)
+        prepared = self.prepare(
+            query, backend,
+            rewrite=rewrite, options=options, backend_options=backend_options,
+        )
         return prepared.execute(timeout_seconds)
+
+    def execute_batch(
+        self,
+        queries: "Sequence[UCQT | str]",
+        backend: str = "vec",
+        *,
+        timeout_seconds: float | None = None,
+        rewrite: bool = True,
+        options: RewriteOptions | None = None,
+        backend_options: Mapping | None = None,
+    ) -> list[frozenset[tuple]]:
+        """Execute a batch of queries, sharing work across the batch.
+
+        Results come back in input order. Identical normalised queries
+        are prepared and executed once; on the ``vec`` backend the whole
+        batch additionally runs through one shared executor, so the
+        dictionary encoding, base-relation scans and any compiled
+        subprograms common to several queries (equal closed µ-RA
+        subtrees, e.g. a shared transitive closure) are materialised
+        exactly once for the batch. See :mod:`repro.serve` for the
+        asyncio front door and richer per-batch statistics.
+        """
+        from repro.serve.batch import execute_batch
+
+        outcome = execute_batch(
+            self, queries, backend,
+            timeout_seconds=timeout_seconds, rewrite=rewrite,
+            options=options, backend_options=backend_options,
+        )
+        return list(outcome.results)
 
     def explain(
         self,
@@ -303,9 +351,13 @@ class GraphSession:
         *,
         rewrite: bool = True,
         options: RewriteOptions | None = None,
+        backend_options: Mapping | None = None,
     ) -> str:
         """Render the plan the backend would execute for this query."""
-        prepared = self.prepare(query, backend, rewrite=rewrite, options=options)
+        prepared = self.prepare(
+            query, backend,
+            rewrite=rewrite, options=options, backend_options=backend_options,
+        )
         return prepared.explain()
 
     # -- introspection -----------------------------------------------------

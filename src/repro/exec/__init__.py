@@ -28,17 +28,23 @@ from repro.exec.dictionary import (
     ValueDictionary,
     encoding_for,
 )
-from repro.exec.executor import execute_program
+from repro.exec.executor import (
+    ExecutionStats,
+    execute_batch_programs,
+    execute_program,
+)
 from repro.exec.kernels import available_kernels, default_kernel, get_kernel
 
 __all__ = [
     "CompiledProgram",
+    "ExecutionStats",
     "StoreEncoding",
     "ValueDictionary",
     "available_kernels",
     "compile_term",
     "default_kernel",
     "encoding_for",
+    "execute_batch_programs",
     "execute_program",
     "get_kernel",
     "render_program",

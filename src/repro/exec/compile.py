@@ -5,16 +5,25 @@ projection targets, natural-join key columns and output layout, union
 alignment, fixpoint step alignment — into positional indices *once*, so
 the executor moves whole columns without ever touching a column name.
 
-Shared sub-terms (the translator reuses term objects for repeated
-sub-expressions) compile to shared operator nodes, preserving the
+Shared sub-terms compile to shared operator nodes, preserving the
 interpreter's run-shared-work-once behaviour: the executor memoises
 results of ``closed`` operators (those without free recursion variables)
-by node identity.
+by node identity. Sharing is *structural*, not by object identity — µ-RA
+terms are frozen dataclasses, so equal closed subtrees hash equally and
+one compiler maps them all onto a single operator node. The module keeps
+one compiler (and a compiled-program cache keyed on the term itself) per
+store snapshot, which makes the sharing span whole query batches:
+sixteen queries that each contain ``µX. isLocatedIn ∪ ...`` share one
+``FixOp`` node, and a batch executor that memoises by node identity runs
+that fixpoint once for the entire batch.
 """
 
 from __future__ import annotations
 
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field
+from weakref import WeakKeyDictionary
 
 from repro.errors import EvaluationError
 from repro.ra.terms import (
@@ -40,6 +49,17 @@ class PhysOp:
 
     def children(self) -> tuple["PhysOp", ...]:
         return ()
+
+    def walk(self, seen: set[int] | None = None) -> "list[PhysOp]":
+        """Every distinct operator node of this DAG (shared nodes once)."""
+        seen = set() if seen is None else seen
+        if id(self) in seen:
+            return []
+        seen.add(id(self))
+        nodes = [self]
+        for child in self.children():
+            nodes.extend(child.walk(seen))
+        return nodes
 
     def label(self) -> str:
         raise NotImplementedError
@@ -180,13 +200,69 @@ class CompiledProgram:
         return _render(self.root, 0, set())
 
 
+#: Bounds for the per-store compile caches: a long-lived serving process
+#: with high query diversity must not retain every program ever compiled
+#: (the session's plan LRU is the real working-set bound; these caps only
+#: keep the sharing substrate from growing without limit).
+_MAX_PROGRAMS = 512
+_MAX_MEMO_OPS = 8192
+
+
+class _CompileCache:
+    """Per-store compiler state, invalidated by the store version.
+
+    Holds one :class:`_Compiler` (whose closed-subterm memo makes equal
+    subtrees share operator nodes across *all* programs compiled against
+    this snapshot) and the finished programs keyed on the term itself —
+    re-preparing a logically identical query costs one hash lookup.
+    Both sides are bounded: programs evict least-recently-compiled past
+    ``_MAX_PROGRAMS``, and the subterm memo is dropped wholesale past
+    ``_MAX_MEMO_OPS`` (later compilations just rebuild their sharing).
+    """
+
+    __slots__ = ("version", "compiler", "programs")
+
+    def __init__(self, store: RelationalStore):
+        self.version = store.version
+        self.compiler = _Compiler(store)
+        self.programs: "OrderedDict[RaTerm, CompiledProgram]" = OrderedDict()
+
+
+_CACHES: "WeakKeyDictionary[RelationalStore, _CompileCache]" = (
+    WeakKeyDictionary()
+)
+
+
+def _cache_for(store: RelationalStore) -> _CompileCache:
+    cache = _CACHES.get(store)
+    if cache is None or cache.version != store.version:
+        cache = _CompileCache(store)
+        _CACHES[store] = cache
+    return cache
+
+
 def compile_term(term: RaTerm, store: RelationalStore) -> CompiledProgram:
-    """Compile ``term`` (columns resolved against ``store``) to a program."""
-    compiler = _Compiler(store)
-    root = compiler.compile(term, {})
-    return CompiledProgram(
-        root, root.columns, tuple(sorted(compiler.scans)), term
+    """Compile ``term`` (columns resolved against ``store``) to a program.
+
+    Compilation is cached per store snapshot and keyed on the term's
+    structural hash; distinct terms compiled against the same snapshot
+    share the operator nodes of their equal closed subtrees.
+    """
+    cache = _cache_for(store)
+    program = cache.programs.get(term)
+    if program is not None:
+        cache.programs.move_to_end(term)
+        return program
+    root = cache.compiler.compile(term, {})
+    scans = sorted(
+        {op.table for op in root.walk() if isinstance(op, ScanOp)}
     )
+    program = CompiledProgram(root, root.columns, tuple(scans), term)
+    cache.programs[term] = program
+    if len(cache.programs) > _MAX_PROGRAMS:
+        cache.programs.popitem(last=False)
+    cache.compiler.trim(_MAX_MEMO_OPS)
+    return program
 
 
 def render_program(program: CompiledProgram) -> str:
@@ -202,23 +278,44 @@ def _is_linear(term: RaTerm, var: str) -> bool:
 
 class _Compiler:
     def __init__(self, store: RelationalStore):
-        self.store = store
-        self.scans: set[str] = set()
-        self._memo: dict[int, PhysOp] = {}
+        # Weak, so the per-store cache entry in ``_CACHES`` (which holds
+        # this compiler) cannot pin its own key alive forever; callers
+        # always hold the store while compiling against it.
+        self._store_ref = weakref.ref(store)
+        self._memo: dict[RaTerm, PhysOp] = {}
+
+    @property
+    def store(self) -> RelationalStore:
+        store = self._store_ref()
+        if store is None:  # pragma: no cover - caller always holds the store
+            raise ReferenceError("the compiled store no longer exists")
+        return store
+
+    def trim(self, max_ops: int) -> None:
+        """Drop the subterm memo once it outgrows ``max_ops`` entries.
+
+        Sharing between *future* compilations restarts from empty; nodes
+        already woven into cached programs stay shared through those
+        programs' references.
+        """
+        if len(self._memo) > max_ops:
+            self._memo.clear()
 
     def compile(
         self, term: RaTerm, var_env: dict[str, tuple[str, ...]]
     ) -> PhysOp:
         # Mirror the evaluator's memo: only closed terms are shared — a
         # term under a fixpoint compiles against its binding's columns.
+        # Keying on the term *value* (terms are frozen dataclasses) makes
+        # equal subtrees from different queries share one operator node.
         cacheable = not isinstance(term, Var) and not term.free_vars()
         if cacheable:
-            hit = self._memo.get(id(term))
+            hit = self._memo.get(term)
             if hit is not None:
                 return hit
         op = self._compile(term, var_env)
         if cacheable:
-            self._memo[id(term)] = op
+            self._memo[term] = op
         return op
 
     def _compile(
@@ -226,7 +323,6 @@ class _Compiler:
     ) -> PhysOp:
         closed = not term.free_vars()
         if isinstance(term, Rel):
-            self.scans.add(term.name)
             stored = self.store.table(term.name).columns
             if term.projection is None or term.projection == stored:
                 return ScanOp(stored, closed, term.name, None, False)

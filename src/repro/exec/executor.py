@@ -15,9 +15,18 @@ multi-column keys stay stable across fixpoint rounds.
 
 The executor honours the same cooperative
 :class:`~repro.graph.evaluator.EvalBudget` as the other engines.
+
+Batch execution (:func:`execute_batch_programs`) runs several compiled
+programs through *one* runner: the scan manifest of the whole batch is
+dictionary-encoded up front against a single frozen code domain, and the
+closed-operator memo spans every program — because the compiler hands
+equal closed subtrees the same operator node, a fixpoint or join shared
+by many queries in the batch is materialised exactly once.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 from repro.errors import EvaluationError
 from repro.exec.compile import (
@@ -40,6 +49,25 @@ from repro.storage.relational import RelationalStore
 _NO_BUDGET = EvalBudget(None)
 
 
+@dataclass
+class ExecutionStats:
+    """Operator-level counters for one (batch) execution.
+
+    ``memo_hits`` counts closed operators whose materialised result was
+    served from the shared memo instead of being recomputed — within one
+    program (shared subtrees) and, for batch execution, across programs.
+    """
+
+    programs: int = 0
+    ops_evaluated: int = 0
+    memo_hits: int = 0
+
+    def merge(self, other: "ExecutionStats") -> None:
+        self.programs += other.programs
+        self.ops_evaluated += other.ops_evaluated
+        self.memo_hits += other.memo_hits
+
+
 def execute_program(
     program: CompiledProgram,
     store: RelationalStore,
@@ -48,47 +76,86 @@ def execute_program(
     kernel=None,
 ) -> frozenset[tuple]:
     """Run ``program`` on ``store``; returns decoded, head-ordered rows."""
+    return execute_batch_programs(
+        [program], store, heads=[head], budget=budget, kernel=kernel
+    )[0]
+
+
+def execute_batch_programs(
+    programs,
+    store: RelationalStore,
+    heads=None,
+    budget: EvalBudget | None = None,
+    kernel=None,
+    stats: ExecutionStats | None = None,
+) -> list[frozenset[tuple]]:
+    """Run several compiled programs with shared encoding and shared memo.
+
+    ``heads[i]`` optionally reorders program ``i``'s output columns. The
+    programs should come from one store snapshot's compiler (the default:
+    :func:`~repro.exec.compile.compile_term` caches per store version) so
+    their equal closed subtrees are the *same* operator nodes; the
+    runner's memo then materialises each shared node once for the whole
+    batch. ``stats``, when given, accumulates operator counters.
+    """
     kernel = kernel or default_kernel()
     encoding = encoding_for(store)
-    runner = _Runner(program, encoding, kernel, budget or _NO_BUDGET)
-    table = runner.run()
-    columns = program.columns
-    if head is not None and head != columns:
-        table = kernel.select_columns(
-            table, [columns.index(column) for column in head]
+    programs = list(programs)
+    heads = list(heads) if heads is not None else [None] * len(programs)
+    if len(heads) != len(programs):
+        raise ValueError(
+            f"{len(programs)} program(s) but {len(heads)} head(s)"
         )
+    runner = _Runner(programs, encoding, kernel, budget or _NO_BUDGET)
     decode_row = encoding.dictionary.decode_row
-    return frozenset(decode_row(row) for row in kernel.to_rows(table))
+    results: list[frozenset[tuple]] = []
+    for program, head in zip(programs, heads):
+        table = runner.run(program)
+        columns = program.columns
+        if head is not None and head != columns:
+            table = kernel.select_columns(
+                table, [columns.index(column) for column in head]
+            )
+        results.append(
+            frozenset(decode_row(row) for row in kernel.to_rows(table))
+        )
+    if stats is not None:
+        stats.merge(runner.stats)
+    return results
 
 
 class _Runner:
     def __init__(
         self,
-        program: CompiledProgram,
+        programs,
         encoding: StoreEncoding,
         kernel,
         budget: EvalBudget,
     ):
-        self.program = program
         self.encoding = encoding
         self.kernel = kernel
         self.budget = budget
+        self.stats = ExecutionStats(programs=len(programs))
         self._memo: dict[int, object] = {}
-        # Encode every referenced table before executing: operators never
-        # intern new values, so the packing domain is fixed from here on.
-        for name in program.scan_tables:
-            encoding.table(name)
+        # Encode every table referenced anywhere in the batch before
+        # executing: operators never intern new values, so the packing
+        # domain is fixed from here on — across all programs.
+        for program in programs:
+            for name in program.scan_tables:
+                encoding.table(name)
         self.domain = encoding.domain_size
 
-    def run(self):
-        return self._eval(self.program.root, {})
+    def run(self, program: CompiledProgram):
+        return self._eval(program.root, {})
 
     def _eval(self, op: PhysOp, env: dict):
         if op.closed:
             hit = self._memo.get(id(op))
             if hit is not None:
+                self.stats.memo_hits += 1
                 return hit
         result = self._eval_uncached(op, env)
+        self.stats.ops_evaluated += 1
         self.budget.tick(self.kernel.nrows(result))
         if op.closed:
             self._memo[id(op)] = result

@@ -1,0 +1,162 @@
+"""Batched multi-query execution over one :class:`GraphSession`.
+
+A *batch* is a sequence of queries answered together. The planner side
+leans entirely on the session's cache layers — each **distinct**
+normalised query is rewritten and prepared once, however many times it
+occurs in the batch — and the execution side shares physical work:
+
+* on the ``vec`` backend the whole batch runs through one
+  :func:`~repro.exec.executor.execute_batch_programs` call, so the
+  store's dictionary encoding is built once for the union of every
+  program's scan manifest and equal closed µ-RA subtrees (common scans,
+  joins, transitive-closure fixpoints) are materialised exactly once for
+  the batch — the compiler hands equal subtrees the same operator node,
+  and the shared runner memoises by node;
+* on every other backend the batch still collapses duplicates: each
+  distinct prepared plan executes once and fans its rows out to all the
+  requests that asked for it.
+
+:class:`BatchReport` records what was shared so callers (benchmarks,
+the CLI, tests) can see the batching effect instead of trusting it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.engine.backends import VecPlan
+from repro.exec.executor import ExecutionStats, execute_batch_programs
+from repro.exec.kernels import get_kernel
+from repro.graph.evaluator import EvalBudget
+from repro.query.model import UCQT
+from repro.query.parser import parse_query
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.rewriter import RewriteOptions
+    from repro.engine.session import GraphSession, PreparedQuery
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """What one batch execution actually did.
+
+    ``queries`` is the batch size, ``distinct_plans`` how many plans were
+    prepared after collapsing duplicates (unsatisfiable queries count —
+    their "plan" is the empty result), and ``execution`` the operator
+    counters of the shared ``vec`` runner (``None`` on other backends).
+    """
+
+    backend: str
+    fingerprint: str
+    queries: int
+    distinct_plans: int
+    execution: ExecutionStats | None = None
+
+    @property
+    def duplicate_queries(self) -> int:
+        return self.queries - self.distinct_plans
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Results (input order) plus the sharing report for one batch."""
+
+    results: tuple[frozenset[tuple], ...]
+    report: BatchReport
+
+
+def execute_batch(
+    session: "GraphSession",
+    queries: Sequence[UCQT | str],
+    backend: str = "vec",
+    *,
+    timeout_seconds: float | None = None,
+    rewrite: bool = True,
+    options: "RewriteOptions | None" = None,
+    backend_options: Mapping | None = None,
+) -> BatchOutcome:
+    """Prepare and execute ``queries`` as one batch on ``backend``.
+
+    ``timeout_seconds`` bounds the *whole batch* (one shared budget on
+    ``vec``, per distinct plan elsewhere). Results are returned in input
+    order; submitting the same query twice returns the same row set
+    twice at the cost of one execution.
+    """
+    parsed = [
+        parse_query(query) if isinstance(query, str) else query
+        for query in queries
+    ]
+    # Collapse duplicates on the normalised query text — the same key the
+    # session's caches use, so "distinct" here means "distinct plan".
+    prepared: dict[str, "PreparedQuery"] = {}
+    keys: list[str] = []
+    for query in parsed:
+        key = str(query)
+        keys.append(key)
+        if key not in prepared:
+            prepared[key] = session.prepare(
+                query,
+                backend,
+                rewrite=rewrite,
+                options=options,
+                backend_options=backend_options,
+            )
+    if backend == "vec":
+        rows_by_key, stats = _execute_vec_shared(
+            session, prepared, timeout_seconds
+        )
+    else:
+        stats = None
+        rows_by_key = {
+            key: plan.execute(timeout_seconds)
+            for key, plan in prepared.items()
+        }
+    report = BatchReport(
+        backend=backend,
+        fingerprint=session.schema_fingerprint,
+        queries=len(parsed),
+        distinct_plans=len(prepared),
+        execution=stats,
+    )
+    return BatchOutcome(
+        results=tuple(rows_by_key[key] for key in keys), report=report
+    )
+
+
+def _execute_vec_shared(
+    session: "GraphSession",
+    prepared: Mapping[str, "PreparedQuery"],
+    timeout_seconds: float | None,
+) -> tuple[dict[str, frozenset[tuple]], ExecutionStats]:
+    """Run every distinct ``vec`` plan through one shared batch runner."""
+    runnable: list[tuple[str, VecPlan]] = []
+    rows_by_key: dict[str, frozenset[tuple]] = {}
+    kernel = None
+    for key, handle in prepared.items():
+        handle._refresh_if_stale()
+        plan = handle.plan
+        if plan is None:  # schema proved the query unsatisfiable
+            rows_by_key[key] = frozenset()
+            continue
+        if not isinstance(plan, VecPlan):  # pragma: no cover - misuse guard
+            raise TypeError(
+                f"backend 'vec' produced a {type(plan).__name__}, "
+                "not a VecPlan"
+            )
+        if plan.kernel is not None:
+            kernel = get_kernel(plan.kernel)
+        runnable.append((key, plan))
+    stats = ExecutionStats()
+    if runnable:
+        results = execute_batch_programs(
+            [plan.program for _, plan in runnable],
+            session.store,
+            heads=[plan.head for _, plan in runnable],
+            budget=EvalBudget(timeout_seconds),
+            kernel=kernel,
+            stats=stats,
+        )
+        for (key, _), rows in zip(runnable, results):
+            rows_by_key[key] = rows
+    return rows_by_key, stats

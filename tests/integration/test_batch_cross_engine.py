@@ -1,0 +1,49 @@
+"""Integration: ``execute_batch`` agrees with per-query ``execute``.
+
+The whole YAGO and LDBC workloads run as single request batches on the
+``ra``, ``sqlite`` and ``vec`` backends; every batch slot must hold
+exactly the rows the same query produces one-at-a-time (which the
+cross-engine suite already pins to the reference evaluator).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import GraphSession
+from repro.workloads.ldbc_queries import LDBC_QUERIES
+from repro.workloads.yago_queries import YAGO_QUERIES
+
+BACKENDS = ("ra", "sqlite", "vec")
+
+
+@pytest.fixture(scope="module")
+def ldbc_session(request):
+    schema, graph, store = request.getfixturevalue("ldbc_small")
+    with GraphSession(graph, schema, store=store) as session:
+        yield session
+
+
+@pytest.fixture(scope="module")
+def yago_session(request):
+    schema, graph, store = request.getfixturevalue("yago_small")
+    with GraphSession(graph, schema, store=store) as session:
+        yield session
+
+
+def _assert_batch_agrees(session, workload_queries):
+    # Duplicate a few queries: the dedup path must fan results out.
+    batch = [q.query for q in workload_queries] + [
+        q.query for q in workload_queries[:3]
+    ]
+    for backend in BACKENDS:
+        expected = [session.execute(query, backend) for query in batch]
+        assert session.execute_batch(batch, backend) == expected, backend
+
+
+def test_yago_workload_batch_agreement(yago_session):
+    _assert_batch_agrees(yago_session, YAGO_QUERIES)
+
+
+def test_ldbc_workload_batch_agreement(ldbc_session):
+    _assert_batch_agrees(ldbc_session, LDBC_QUERIES)

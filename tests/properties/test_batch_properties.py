@@ -1,0 +1,51 @@
+"""Properties of batched execution: order-independence and agreement.
+
+A batch is a set of requests that happen to arrive together — sharing
+plans, the dictionary encoding and common subprograms must never make a
+query's rows depend on *which* other queries share its batch or in what
+order they were submitted.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.random_graphs import (
+    random_graph,
+    random_path_expr,
+    random_schema,
+)
+from repro.engine import GraphSession
+from repro.query.model import single_relation_query
+
+_SEEDS = st.integers(min_value=0, max_value=10_000)
+
+
+@given(_SEEDS, _SEEDS, st.data())
+@settings(max_examples=25, deadline=None)
+def test_batch_results_are_order_independent(schema_seed, graph_seed, data):
+    schema = random_schema(schema_seed)
+    graph = random_graph(schema, graph_seed, max_nodes=14, max_edges=36)
+    queries = [
+        single_relation_query(
+            random_path_expr(schema, expr_seed, max_depth=3)
+        )
+        for expr_seed in data.draw(
+            st.lists(_SEEDS, min_size=2, max_size=5), label="expr_seeds"
+        )
+    ]
+    permutation = data.draw(
+        st.permutations(range(len(queries))), label="permutation"
+    )
+
+    with GraphSession(graph, schema) as session:
+        expected = [session.execute(query, "vec") for query in queries]
+        # Batched rows equal per-query rows, in input order ...
+        assert session.execute_batch(queries, "vec") == expected
+        # ... and survive any permutation of the batch (shared plans and
+        # memoised subprograms must not leak between slots).
+        shuffled = [queries[i] for i in permutation]
+        assert session.execute_batch(shuffled, "vec") == [
+            expected[i] for i in permutation
+        ]

@@ -1,0 +1,244 @@
+"""The serving layer: batched execution, the asyncio service, the CLI."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.engine import GraphSession, freeze_options
+from repro.exec import ExecutionStats
+from repro.graph.model import yago_example_graph
+from repro.schema.builder import yago_example_schema
+from repro.serve import QueryService, execute_batch, serve_queries
+
+CLOSURE = "x1, x2 <- (x1, isLocatedIn+, x2)"
+CHAIN = "x1, x2 <- (x1, livesIn/isLocatedIn+, x2)"
+QUERIES = [CLOSURE, CHAIN, CLOSURE]  # one duplicate
+
+
+@pytest.fixture
+def session():
+    with GraphSession(yago_example_graph(), yago_example_schema()) as s:
+        yield s
+
+
+class TestExecuteBatch:
+    def test_matches_per_query_execution(self, session):
+        expected = [session.execute(q, "vec") for q in QUERIES]
+        assert session.execute_batch(QUERIES, "vec") == expected
+
+    def test_duplicates_collapse_to_one_plan(self, session):
+        outcome = execute_batch(session, QUERIES, "vec")
+        assert outcome.report.queries == 3
+        assert outcome.report.distinct_plans == 2
+        assert outcome.report.duplicate_queries == 1
+        assert outcome.results[0] == outcome.results[2]
+
+    def test_shared_subprograms_reused_across_batch(self, session):
+        # CLOSURE is a subterm of CHAIN's plan: the batch runner must
+        # serve the shared fixpoint from its memo, not recompute it.
+        outcome = execute_batch(session, [CLOSURE, CHAIN], "vec")
+        execution = outcome.report.execution
+        assert isinstance(execution, ExecutionStats)
+        assert execution.programs == 2
+        assert execution.memo_hits > 0
+
+    def test_empty_batch(self, session):
+        outcome = execute_batch(session, [], "vec")
+        assert outcome.results == ()
+        assert outcome.report.queries == 0
+
+    def test_unsatisfiable_query_yields_empty_rows(self, session):
+        # 'livesIn' ends at CITY and starts at PERSON, so composing it
+        # with itself is schema-unsatisfiable (the prepared plan is
+        # None) — but it must not sink the rest of the batch.
+        unsat = "x1, x2 <- (x1, livesIn/livesIn, x2)"
+        outcome = execute_batch(session, [CLOSURE, unsat], "vec")
+        assert outcome.results[0] == session.execute(CLOSURE, "vec")
+        assert outcome.results[1] == session.execute(unsat, "vec")
+
+    def test_kernel_backend_option(self, session):
+        outcome = execute_batch(
+            session, QUERIES, "vec", backend_options={"kernel": "python"}
+        )
+        assert list(outcome.results) == [
+            session.execute(q, "ra") for q in QUERIES
+        ]
+
+    def test_non_vec_backends_still_batch(self, session):
+        expected = [session.execute(q, "reference") for q in QUERIES]
+        for backend in ("ra", "sqlite", "gdb", "reference"):
+            outcome = execute_batch(session, QUERIES, backend)
+            assert list(outcome.results) == expected, backend
+            assert outcome.report.distinct_plans == 2
+            assert outcome.report.execution is None
+
+    def test_batch_respects_schema_change(self, session):
+        before = session.execute_batch([CLOSURE], "vec")
+        session.update_schema(session.schema)  # same content, new object
+        assert session.execute_batch([CLOSURE], "vec") == before
+
+
+class TestCacheKeyCanonicalisation:
+    def test_option_dict_order_does_not_fragment_the_cache(self, session):
+        scrambled = dict([("b", 2), ("a", {"y": 1, "x": 2})])
+        ordered = dict([("a", {"x": 2, "y": 1}), ("b", 2)])
+        assert freeze_options(scrambled) == freeze_options(ordered)
+        assert freeze_options({}) is None is freeze_options(None)
+        assert freeze_options({"k": [1, 2]}) == freeze_options({"k": (1, 2)})
+
+    def test_identical_batch_requests_share_one_plan_entry(self, session):
+        a = session.prepare(CLOSURE, "vec", backend_options={"kernel": "python"})
+        b = session.prepare(CLOSURE, "vec", backend_options={"kernel": "python"})
+        assert a.plan is b.plan
+        stats = session.cache_stats["plan"]
+        assert stats.hits >= 1
+        assert stats.size == 1
+
+
+class TestQueryService:
+    def test_serves_a_workload(self, session):
+        expected = [session.execute(q, "vec") for q in QUERIES]
+
+        async def drive():
+            return await serve_queries(
+                session, QUERIES * 3, "vec", max_batch_size=4, workers=2
+            )
+
+        results, stats = asyncio.run(drive())
+        assert results == expected * 3
+        assert stats.completed == 9
+        assert stats.batches >= 1
+        assert stats.shared_plans > 0  # duplicates answered from the batch
+
+    def test_submit_outside_context_raises(self, session):
+        service = QueryService(session)
+
+        async def drive():
+            await service.submit(CLOSURE)
+
+        with pytest.raises(RuntimeError, match="not running"):
+            asyncio.run(drive())
+
+    def test_error_propagates_to_the_submitter(self, session):
+        async def drive():
+            async with QueryService(session, "vec") as service:
+                await service.submit("x1, x2 <- (x1, nosuchlabel+, x2)")
+
+        with pytest.raises(Exception, match="nosuchlabel"):
+            asyncio.run(drive())
+
+    def test_malformed_query_fails_at_submit(self, session):
+        from repro.errors import ParseError
+
+        async def drive():
+            async with QueryService(session, "vec") as service:
+                await service.submit("this is not a UCQT")
+
+        with pytest.raises(ParseError):
+            asyncio.run(drive())
+
+    def test_batch_timeout_fails_the_whole_batch(self, session):
+        # The budget bounds the batch; a timeout must reach every
+        # submitter instead of triggering per-request retries that
+        # would multiply the bounded work.
+        from repro.errors import QueryTimeout
+
+        async def drive():
+            # rewrite=False keeps the fixpoints (the rewriter would
+            # eliminate them on this schema), so the budget is checked.
+            async with QueryService(
+                session, "vec", timeout_seconds=0.0, workers=1,
+                rewrite=False,
+            ) as service:
+                return await asyncio.gather(
+                    service.submit(CLOSURE),
+                    service.submit(CHAIN),
+                    return_exceptions=True,
+                )
+
+        errors = asyncio.run(drive())
+        assert all(isinstance(e, QueryTimeout) for e in errors), errors
+
+    def test_bad_request_does_not_fail_batch_peers(self, session):
+        # A failing query (unknown label, caught at prepare time) shares
+        # an admission batch with a valid one; only its own future may
+        # fail — the peer must still get its rows.
+        async def drive():
+            async with QueryService(session, "vec", workers=1) as service:
+                good = service.submit(CLOSURE)
+                bad = service.submit("x1, x2 <- (x1, nosuchlabel+, x2)")
+                return await asyncio.gather(good, bad, return_exceptions=True)
+
+        good_rows, bad_error = asyncio.run(drive())
+        assert good_rows == session.execute(CLOSURE, "vec")
+        assert isinstance(bad_error, Exception)
+        assert "nosuchlabel" in str(bad_error)
+
+    def test_sqlite_batches_run_inline(self, session):
+        # The sqlite connection is bound to its creating thread; the
+        # service must not hand its batches to a worker thread.
+        async def drive():
+            async with QueryService(session, "sqlite") as service:
+                return await service.map(QUERIES)
+
+        assert asyncio.run(drive()) == [
+            session.execute(q, "sqlite") for q in QUERIES
+        ]
+
+    def test_schema_change_splits_admission_batches(self, session):
+        async def drive():
+            async with QueryService(session, "vec", workers=1) as service:
+                first = service.submit(CLOSURE)
+                session.update_schema(session.schema)
+                second = service.submit(CLOSURE)
+                return await asyncio.gather(first, second)
+
+        first, second = asyncio.run(drive())
+        assert first == second == session.execute(CLOSURE, "vec")
+
+    def test_invalid_configuration_rejected(self, session):
+        for kwargs in (
+            {"max_batch_size": 0},
+            {"max_pending": 0},
+            {"workers": 0},
+        ):
+            with pytest.raises(ValueError):
+                QueryService(session, **kwargs)
+
+
+class TestCli:
+    @pytest.fixture
+    def query_file(self, tmp_path):
+        path = tmp_path / "queries.txt"
+        path.write_text("# a comment\n" + "\n".join(QUERIES) + "\n\n")
+        return str(path)
+
+    def test_batch_subcommand(self, capsys, query_file):
+        assert cli_main(["batch", query_file, "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "batch of 3 quer(ies) -> 2 distinct plan(s)" in out
+        assert "operator result(s) reused" in out
+
+    def test_batch_subcommand_json(self, capsys, query_file):
+        import json
+
+        assert cli_main(["batch", query_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["query"] for entry in payload] == QUERIES
+        assert payload[0]["rows"] == payload[2]["rows"]
+
+    def test_serve_subcommand(self, capsys, query_file):
+        assert cli_main(
+            ["serve", query_file, "--workers", "2", "--max-batch", "2"]
+        ) == 0
+        assert "served 3 quer(ies)" in capsys.readouterr().out
+
+    def test_batch_stdin_empty_fails(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("# only comments\n"))
+        assert cli_main(["batch"]) == 1
+        assert "no queries" in capsys.readouterr().err
