@@ -1,0 +1,257 @@
+"""Morsel-parallel vec vs sequential vec, plus the warm result cache.
+
+The parallel-serving acceptance gate, in two acts over the recursive
+(baseline, fixpoint-bearing) YAGO and LDBC workload queries:
+
+* **parallel vs sequential** — every query prepared twice on ``vec``:
+  once plain, once with ``{"parallelism": 4}``. Rows are checked equal
+  before timing; the artefact records per-query times and the pooled
+  recursive speedup. On a multi-core box with numpy this must clear
+  ``>= 1.5x``; on one core (or under the GIL-bound pure-Python kernel)
+  threads cannot overlap, so the gate degrades to a no-slower-than
+  floor and the artefact says why (``gate`` in the JSON).
+* **warm result cache** — the same workload through a
+  result-cache-enabled session: a cold pass that executes everything,
+  then a warm pass that must be answered entirely from the cache in
+  near-zero time, with the hit counters to prove it.
+
+The JSON artefact lands in ``benchmarks/output/parallel_vec.json``.
+
+Profiles (``REPRO_PARALLEL_BENCH_PROFILE``):
+
+* ``quick`` (default) — YAGO scale 0.6, LDBC SF 1, best of 3,
+* ``smoke`` — tiny datasets, best of 2; the CI step.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from conftest import OUTPUT_DIR
+
+_PROFILES = {
+    # name: (yago scale, ldbc scale factor, repetitions)
+    "quick": (0.6, 1.0, 3),
+    "smoke": (0.15, 0.1, 2),
+}
+PROFILE = os.environ.get("REPRO_PARALLEL_BENCH_PROFILE", "quick")
+YAGO_SCALE, LDBC_SF, REPETITIONS = _PROFILES[PROFILE]
+TIMEOUT = 120.0
+PARALLELISM = 4
+MORSEL_SIZE = 2048
+
+#: The >= 1.5x claim holds where threads can actually overlap (several
+#: cores, a GIL-dropping kernel) *and* the data is big enough to fan out
+#: (the quick profile). The smoke profile and single-core / pure-Python
+#: configurations still check row agreement query by query, but the
+#: timing gate degrades to a no-material-slowdown floor — per-morsel
+#: dispatch on tiny tables or one core cannot be faster by construction.
+SPEEDUP_TARGET = 1.5
+NOISE_FLOOR = 0.6
+
+
+def _speedup_gate() -> tuple[float, str]:
+    from repro.exec.kernels import default_kernel
+
+    cores = os.cpu_count() or 1
+    # The strict target needs at least as many cores as workers: on 2-3
+    # cores Amdahl's law (sequential build/index/decode phases) makes a
+    # pooled 1.5x unreliable even when the machinery works perfectly.
+    if (
+        PROFILE == "quick"
+        and cores >= PARALLELISM
+        and default_kernel().RELEASES_GIL
+    ):
+        return SPEEDUP_TARGET, (
+            f">= {SPEEDUP_TARGET}x (multi-core box, GIL-dropping kernel)"
+        )
+    return NOISE_FLOOR, (
+        f">= {NOISE_FLOOR}x no-material-slowdown floor "
+        f"(profile={PROFILE}, cpu_count={cores}, "
+        f"kernel={default_kernel().NAME}: the {SPEEDUP_TARGET}x target "
+        "needs the quick profile on a multi-core box with numpy)"
+    )
+
+
+@pytest.fixture(scope="module")
+def yago_parallel_session():
+    from repro.datasets.yago import yago_session
+
+    with yago_session(scale=YAGO_SCALE) as session:
+        yield session
+
+
+@pytest.fixture(scope="module")
+def ldbc_parallel_session():
+    from repro.datasets.ldbc import ldbc_session
+
+    with ldbc_session(scale_factor=LDBC_SF) as session:
+        yield session
+
+
+def _best_of(callable_, repetitions: int) -> float:
+    best = float("inf")
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure_workload(session, queries, scale) -> dict:
+    """Recursive baseline queries: sequential vs morsel-parallel vec."""
+    records = []
+    for workload_query in queries:
+        # parallelism=1 pins the sequential arm even when the
+        # REPRO_VEC_PARALLELISM environment default is set (CI par leg).
+        sequential = session.prepare(
+            workload_query.query,
+            "vec",
+            rewrite=False,
+            backend_options={"parallelism": 1},
+        )
+        parallel = session.prepare(
+            workload_query.query,
+            "vec",
+            rewrite=False,
+            backend_options={
+                "parallelism": PARALLELISM,
+                "morsel_size": MORSEL_SIZE,
+            },
+        )
+        rows_sequential = sequential.execute(timeout_seconds=TIMEOUT)
+        rows_parallel = parallel.execute(timeout_seconds=TIMEOUT)
+        assert rows_parallel == rows_sequential, workload_query.qid
+        seconds_sequential = _best_of(
+            lambda plan=sequential: plan.execute(timeout_seconds=TIMEOUT),
+            REPETITIONS,
+        )
+        seconds_parallel = _best_of(
+            lambda plan=parallel: plan.execute(timeout_seconds=TIMEOUT),
+            REPETITIONS,
+        )
+        records.append(
+            {
+                "qid": workload_query.qid,
+                "recursive": workload_query.recursive,
+                "rows": len(rows_sequential),
+                "sequential_seconds": seconds_sequential,
+                "parallel_seconds": seconds_parallel,
+                "speedup": seconds_sequential
+                / max(seconds_parallel, 1e-9),
+            }
+        )
+    return {"scale": scale, "queries": records}
+
+
+def _aggregate(records) -> dict:
+    sequential = sum(r["sequential_seconds"] for r in records)
+    parallel = sum(r["parallel_seconds"] for r in records)
+    return {
+        "queries": len(records),
+        "sequential_seconds": sequential,
+        "parallel_seconds": parallel,
+        "speedup": sequential / max(parallel, 1e-9),
+    }
+
+
+def _measure_result_cache(make_session, queries) -> dict:
+    """Cold pass executes; the warm repeat must come from the cache."""
+    with make_session(result_cache_size=256) as session:
+        prepared = [
+            session.prepare(q.text, "vec", rewrite=False) for q in queries
+        ]
+        cold = _best_of(
+            lambda: [p.execute(timeout_seconds=TIMEOUT) for p in prepared], 1
+        )
+        warm = _best_of(
+            lambda: [p.execute(timeout_seconds=TIMEOUT) for p in prepared], 1
+        )
+        stats = session.cache_stats["result"]
+        return {
+            "queries": len(prepared),
+            "cold_seconds": cold,
+            "warm_seconds": warm,
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "speedup": cold / max(warm, 1e-9),
+        }
+
+
+@pytest.fixture(scope="module")
+def parallel_results(yago_parallel_session, ldbc_parallel_session):
+    from repro.datasets.yago import yago_session
+    from repro.exec.kernels import default_kernel
+    from repro.workloads.ldbc_queries import LDBC_QUERIES
+    from repro.workloads.yago_queries import YAGO_QUERIES
+
+    results = {
+        "profile": PROFILE,
+        "parallelism": PARALLELISM,
+        "morsel_size": MORSEL_SIZE,
+        "cpu_count": os.cpu_count(),
+        "kernel": default_kernel().NAME,
+        "gate": _speedup_gate()[1],
+        "workloads": {
+            "yago": _measure_workload(
+                yago_parallel_session, YAGO_QUERIES, YAGO_SCALE
+            ),
+            "ldbc": _measure_workload(
+                ldbc_parallel_session, LDBC_QUERIES, LDBC_SF
+            ),
+        },
+    }
+    pooled = [
+        record
+        for workload in results["workloads"].values()
+        for record in workload["queries"]
+    ]
+    results["overall"] = _aggregate(pooled)
+    results["recursive"] = _aggregate(
+        [r for r in pooled if r["recursive"]]
+    )
+    results["result_cache"] = _measure_result_cache(
+        lambda **kwargs: yago_session(scale=YAGO_SCALE, **kwargs),
+        YAGO_QUERIES,
+    )
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "parallel_vec.json").write_text(
+        json.dumps(results, indent=2) + "\n"
+    )
+    return results
+
+
+def test_parallel_beats_sequential_on_recursive_workloads(parallel_results):
+    """The acceptance gate: row agreement (asserted while measuring) and
+    the recursive-aggregate speedup — >= 1.5x where threads can overlap
+    (quick profile, multi-core, numpy), a no-slowdown floor elsewhere."""
+    recursive = parallel_results["recursive"]
+    assert recursive["queries"] > 0
+    threshold, description = _speedup_gate()
+    assert recursive["speedup"] >= threshold, (description, parallel_results)
+
+
+def test_warm_result_cache_skips_execution(parallel_results):
+    """Repeat traffic is answered from the result cache: every warm
+    query is a hit and the warm pass is orders of magnitude faster."""
+    cache = parallel_results["result_cache"]
+    # Every satisfiable query misses once (cold) and hits on repeat; a
+    # plan shared by two workload queries would hit inside the cold pass
+    # too, so hits >= misses in general.
+    assert cache["misses"] > 0
+    assert cache["hits"] >= cache["misses"]
+    assert cache["warm_seconds"] <= cache["cold_seconds"]
+    # Near-zero: a whole warm workload is just dict lookups.
+    assert cache["warm_seconds"] < max(0.10, 0.5 * cache["cold_seconds"])
+
+
+def test_artifact_written(parallel_results):
+    artifact = json.loads((OUTPUT_DIR / "parallel_vec.json").read_text())
+    assert artifact["profile"] == PROFILE
+    assert set(artifact["workloads"]) == {"yago", "ldbc"}
+    assert artifact["parallelism"] == PARALLELISM
+    assert "result_cache" in artifact

@@ -16,6 +16,11 @@ Four subcommands:
 * ``serve [FILE] [--workers N] [--max-batch K] ...`` — the same workload
   through the asyncio :class:`~repro.serve.service.QueryService`
   (bounded worker pool, admission batching).
+
+``query``, ``batch`` and ``serve`` accept ``--parallelism N`` /
+``--morsel-size M`` (morsel-driven parallel ``vec`` execution); the
+serving subcommands cache whole result sets per store version unless
+``--no-result-cache`` is given.
 """
 
 from __future__ import annotations
@@ -84,20 +89,32 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_session(dataset: str, scale: float):
+def _load_session(dataset: str, scale: float, **session_kwargs):
     if dataset == "ldbc":
         from repro.datasets.ldbc import ldbc_session
 
-        return ldbc_session(scale_factor=scale)
+        return ldbc_session(scale_factor=scale, **session_kwargs)
     if dataset == "yago":
         from repro.datasets.yago import yago_session
 
-        return yago_session(scale=scale)
+        return yago_session(scale=scale, **session_kwargs)
     from repro.engine.session import GraphSession
     from repro.graph.model import yago_example_graph
     from repro.schema.builder import yago_example_schema
 
-    return GraphSession(yago_example_graph(), yago_example_schema())
+    return GraphSession(
+        yago_example_graph(), yago_example_schema(), **session_kwargs
+    )
+
+
+def _vec_backend_options(args) -> dict | None:
+    """The ``vec`` execution options carried by the CLI flags."""
+    options = {}
+    if getattr(args, "parallelism", None) is not None:
+        options["parallelism"] = args.parallelism
+    if getattr(args, "morsel_size", None) is not None:
+        options["morsel_size"] = args.morsel_size
+    return options or None
 
 
 def _run_query(args: argparse.Namespace) -> int:
@@ -143,7 +160,13 @@ def _run_batch_inner(args: argparse.Namespace) -> int:
         print(f"repro {args.command}: no queries to run", file=sys.stderr)
         return 1
     rewrite = not args.baseline
-    session = _load_session(args.dataset, args.scale)
+    backend_options = _vec_backend_options(args)
+    # Serving is repeated traffic: cache whole result sets unless the
+    # caller opted out.
+    result_cache_size = 0 if args.no_result_cache else 256
+    session = _load_session(
+        args.dataset, args.scale, result_cache_size=result_cache_size
+    )
     with session:
         if args.command == "serve":
             import asyncio
@@ -159,6 +182,7 @@ def _run_batch_inner(args: argparse.Namespace) -> int:
                     workers=args.workers,
                     timeout_seconds=args.timeout,
                     rewrite=rewrite,
+                    backend_options=backend_options,
                 )
             )
             summary = (
@@ -176,14 +200,26 @@ def _run_batch_inner(args: argparse.Namespace) -> int:
                 args.backend,
                 timeout_seconds=args.timeout,
                 rewrite=rewrite,
+                backend_options=backend_options,
             )
             results = list(outcome.results)
             report = outcome.report
-            shared_ops = (
-                f", {report.execution.memo_hits} operator result(s) reused"
-                if report.execution is not None
-                else ""
-            )
+            shared_ops = ""
+            if report.execution is not None:
+                execution = report.execution
+                shared_ops = (
+                    f", {execution.memo_hits} operator result(s) reused"
+                )
+                if execution.result_cache_hits:
+                    shared_ops += (
+                        f", {execution.result_cache_hits} answered from "
+                        "the result cache"
+                    )
+                if execution.parallel_ops:
+                    shared_ops += (
+                        f", {execution.morsels_dispatched} morsel(s) over "
+                        f"{execution.parallel_ops} parallel operator(s)"
+                    )
             summary = (
                 f"-- batch of {report.queries} quer(ies) -> "
                 f"{report.distinct_plans} distinct plan(s) on backend "
@@ -216,7 +252,14 @@ def _run_query_inner(args: argparse.Namespace) -> int:
     with session:
         rewrite = not args.baseline
         if args.explain:
-            print(session.explain(args.text, args.backend, rewrite=rewrite))
+            print(
+                session.explain(
+                    args.text,
+                    args.backend,
+                    rewrite=rewrite,
+                    backend_options=_vec_backend_options(args),
+                )
+            )
             print()
         if rewrite:
             result = session.rewrite(args.text)
@@ -228,6 +271,7 @@ def _run_query_inner(args: argparse.Namespace) -> int:
             args.backend,
             timeout_seconds=args.timeout,
             rewrite=rewrite,
+            backend_options=_vec_backend_options(args),
         )
         for row in sorted(rows)[: args.limit]:
             print(row)
@@ -235,6 +279,18 @@ def _run_query_inner(args: argparse.Namespace) -> int:
         print(f"-- {len(rows)} row(s) on backend {args.backend!r} "
               f"({shown} shown)")
     return 0
+
+
+def _add_parallel_arguments(parser) -> None:
+    parser.add_argument(
+        "--parallelism", type=int, default=None, metavar="N",
+        help="vec backend: worker threads for morsel-driven parallel "
+        "execution (default: sequential, or $REPRO_VEC_PARALLELISM)",
+    )
+    parser.add_argument(
+        "--morsel-size", type=int, default=None, metavar="ROWS",
+        help="vec backend: rows per morsel task (default 4096)",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -301,6 +357,7 @@ def main(argv: list[str] | None = None) -> int:
     query.add_argument(
         "--limit", type=int, default=20, help="rows to print (default 20)"
     )
+    _add_parallel_arguments(query)
 
     for name, help_text in (
         ("batch", "execute a file of queries as one shared batch"),
@@ -341,6 +398,12 @@ def main(argv: list[str] | None = None) -> int:
             "--json", action="store_true",
             help="print all results as one JSON document",
         )
+        sub.add_argument(
+            "--no-result-cache", action="store_true",
+            help="disable the session's result-set cache (on by default "
+            "for serving: repeated queries skip execution entirely)",
+        )
+        _add_parallel_arguments(sub)
         if name == "serve":
             sub.add_argument(
                 "--workers", type=int, default=2,
@@ -353,6 +416,16 @@ def main(argv: list[str] | None = None) -> int:
             )
 
     args = parser.parse_args(argv)
+    if (
+        getattr(args, "parallelism", None) is not None
+        or getattr(args, "morsel_size", None) is not None
+    ) and getattr(args, "backend", "vec") != "vec":
+        # Reject rather than silently ignore — same contract as the vec
+        # backend's unknown-option validation.
+        parser.error(
+            "--parallelism/--morsel-size configure the 'vec' backend "
+            f"(got --backend {args.backend!r})"
+        )
     if args.command == "bench":
         return _run_bench(args)
     if args.command in ("batch", "serve"):

@@ -245,9 +245,11 @@ def ldbc_session(
     scale_factor: float = 1.0,
     seed: int = 42,
     graph: PropertyGraph | None = None,
+    **session_kwargs,
 ):
     """A :class:`~repro.engine.session.GraphSession` over an LDBC graph,
-    with the Organisation/Place alias views declared."""
+    with the Organisation/Place alias views declared. Extra keyword
+    arguments (e.g. ``result_cache_size``) reach the session."""
     from repro.engine.session import GraphSession
 
     schema = ldbc_schema()
@@ -260,4 +262,5 @@ def ldbc_session(
             "Organisation": ORGANISATION_LABELS,
             "Place": PLACE_LABELS,
         },
+        **session_kwargs,
     )

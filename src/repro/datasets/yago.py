@@ -207,10 +207,13 @@ def yago_session(
     scale: float = 1.0,
     seed: int = 7,
     graph: PropertyGraph | None = None,
+    **session_kwargs,
 ):
-    """A :class:`~repro.engine.session.GraphSession` over a YAGO graph."""
+    """A :class:`~repro.engine.session.GraphSession` over a YAGO graph.
+    Extra keyword arguments (e.g. ``result_cache_size``) reach the
+    session."""
     from repro.engine.session import GraphSession
 
     if graph is None:
         graph = generate_yago(scale, seed=seed)
-    return GraphSession(graph, yago_schema())
+    return GraphSession(graph, yago_schema(), **session_kwargs)

@@ -14,7 +14,12 @@ The same query string runs unchanged on every registered backend
 planning are cached per (query, schema fingerprint, options).
 """
 
-from repro.engine.cache import CacheStats, LruCache, freeze_options
+from repro.engine.cache import (
+    CacheStats,
+    LruCache,
+    freeze_options,
+    result_cache_key,
+)
 from repro.engine.protocol import (
     Backend,
     available_backends,
@@ -38,4 +43,5 @@ __all__ = [
     "CacheStats",
     "LruCache",
     "freeze_options",
+    "result_cache_key",
 ]

@@ -30,6 +30,7 @@ from repro.engine.protocol import register_backend
 from repro.exec.compile import CompiledProgram, compile_term
 from repro.exec.executor import execute_program
 from repro.exec.kernels import default_kernel, get_kernel
+from repro.exec.parallel import DEFAULT_MORSEL_SIZE, default_parallelism
 from repro.gdb.cypher import cypher_expressible, to_cypher
 from repro.gdb.patterns import GraphPattern, ucqt_to_patterns
 from repro.graph.evaluator import EvalBudget
@@ -86,27 +87,77 @@ class RaBackend:
     def explain(self, session: "GraphSession", plan: RaPlan) -> str:
         return explain_ra_term(plan.term, session.store)
 
+    def result_token(self, plan: RaPlan):
+        return (plan.term, plan.head)
+
 
 # -- vectorized columnar engine -----------------------------------------------
+#: The backend options the ``vec`` backend accepts (typos are rejected
+#: at prepare time instead of silently ignored).
+VEC_OPTIONS = frozenset({"kernel", "parallelism", "morsel_size"})
+
+
+def _positive_int_option(options: Mapping, key: str) -> int | None:
+    value = options.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise ValueError(
+            f"vec backend option {key!r} must be a positive integer, "
+            f"got {value!r}"
+        )
+    return value
+
+
+def _validate_vec_options(
+    options: Mapping | None,
+) -> tuple[str | None, int | None, int | None]:
+    """Check option keys and values; returns (kernel, parallelism, morsel_size)."""
+    if not options:
+        return None, None, None
+    unknown = sorted(set(options) - VEC_OPTIONS)
+    if unknown:
+        raise ValueError(
+            f"unknown vec backend option(s) {', '.join(map(repr, unknown))}; "
+            f"accepted options: {', '.join(sorted(VEC_OPTIONS))}"
+        )
+    kernel = options.get("kernel")
+    if kernel is not None:
+        get_kernel(kernel)  # fail at prepare time, not execute time
+    return (
+        kernel,
+        _positive_int_option(options, "parallelism"),
+        _positive_int_option(options, "morsel_size"),
+    )
+
+
 @dataclass(frozen=True)
 class VecPlan:
     """An optimised µ-RA term compiled to a columnar program.
 
     ``kernel`` pins a kernel implementation by name (the ``kernel``
     backend option); ``None`` means the fastest available one.
+    ``parallelism``/``morsel_size`` configure morsel-driven parallel
+    execution; ``None`` defers to the ``REPRO_VEC_PARALLELISM``
+    environment default (sequential when unset) and the kernel-layer
+    default morsel size.
     """
 
     term: RaTerm
     program: CompiledProgram
     head: tuple[str, ...]
     kernel: str | None = None
+    parallelism: int | None = None
+    morsel_size: int | None = None
 
 
 class VecBackend:
     """Columnar execution of the same optimised plans the ``ra`` backend
     runs tuple-at-a-time: base tables are dictionary-encoded once per
     store snapshot, operators move whole integer columns, and fixpoints
-    iterate semi-naively over delta frontiers (:mod:`repro.exec`)."""
+    iterate semi-naively over delta frontiers (:mod:`repro.exec`). With
+    ``{"parallelism": N}`` the heavy operators fan out over row morsels
+    on a thread pool (:mod:`repro.exec.parallel`)."""
 
     name = "vec"
 
@@ -116,9 +167,7 @@ class VecBackend:
         query: UCQT,
         options: Mapping | None = None,
     ) -> VecPlan:
-        kernel = (options or {}).get("kernel")
-        if kernel is not None:
-            get_kernel(kernel)  # fail at prepare time, not execute time
+        kernel, parallelism, morsel_size = _validate_vec_options(options)
         term = optimize_term(
             ucqt_to_ra(query, TranslationContext()), session.store
         )
@@ -127,6 +176,8 @@ class VecBackend:
             program=compile_term(term, session.store),
             head=query.head,
             kernel=kernel,
+            parallelism=parallelism,
+            morsel_size=morsel_size,
         )
 
     def execute(
@@ -135,22 +186,43 @@ class VecBackend:
         plan: VecPlan,
         timeout_seconds: float | None = None,
     ) -> frozenset[tuple]:
+        parallelism = (
+            plan.parallelism
+            if plan.parallelism is not None
+            else default_parallelism()
+        )
         return execute_program(
             plan.program,
             session.store,
             head=plan.head,
             budget=EvalBudget(timeout_seconds),
             kernel=get_kernel(plan.kernel) if plan.kernel else None,
+            parallelism=parallelism,
+            morsel_size=plan.morsel_size,
         )
 
     def explain(self, session: "GraphSession", plan: VecPlan) -> str:
         logical = explain_ra_term(plan.term, session.store)
         physical = plan.program.render()
         kernel = plan.kernel or default_kernel().NAME
+        parallelism = (
+            plan.parallelism
+            if plan.parallelism is not None
+            else default_parallelism()
+        )
+        config = f"{kernel} kernels"
+        if parallelism > 1:
+            config += (
+                f", parallelism={parallelism}, "
+                f"morsel_size={plan.morsel_size or DEFAULT_MORSEL_SIZE}"
+            )
         return (
             f"-- logical µ-RA plan --\n{logical}\n\n"
-            f"-- physical columnar plan ({kernel} kernels) --\n{physical}"
+            f"-- physical columnar plan ({config}) --\n{physical}"
         )
+
+    def result_token(self, plan: VecPlan):
+        return (plan.term, plan.head)
 
 
 # -- generated SQL on SQLite --------------------------------------------------
@@ -183,6 +255,9 @@ class SqliteEngineBackend:
     def explain(self, session: "GraphSession", plan: SqlPlan) -> str:
         query_plan = session.sqlite.explain_query_plan(plan.sql)
         return f"{plan.sql}\n\n-- EXPLAIN QUERY PLAN --\n{query_plan}"
+
+    def result_token(self, plan: SqlPlan):
+        return plan.sql
 
 
 # -- graph-pattern expansion (the Neo4j stand-in) -----------------------------

@@ -1,9 +1,13 @@
 """Bounded LRU caches with hit/miss counters.
 
-Both session cache layers (rewrite cache, per-backend plan cache) are
-instances of :class:`LruCache`. Keys always embed the session's schema
-fingerprint, so a schema change invalidates entries *semantically* —
-stale entries simply never hit again and age out of the LRU order.
+All three session cache layers — the rewrite cache, the per-backend plan
+cache and the (opt-in) result-set cache — are instances of
+:class:`LruCache`. Keys always embed the session's schema fingerprint,
+so a schema change invalidates entries *semantically* — stale entries
+simply never hit again and age out of the LRU order. Result-set entries
+additionally embed the relational store's ``version`` counter
+(:func:`result_cache_key`), so any store mutation retires them the same
+way.
 """
 
 from __future__ import annotations
@@ -31,6 +35,38 @@ def freeze_options(options: Mapping | None) -> tuple | None:
         return None
     return tuple(
         (key, _freeze_value(options[key])) for key in sorted(options)
+    )
+
+
+def result_cache_key(
+    backend_name: str,
+    plan_token: Hashable,
+    fingerprint: str,
+    store_version: int,
+    options: Mapping | None,
+) -> tuple:
+    """The result-set cache key for one executable plan.
+
+    ``plan_token`` is the backend's *structural* plan identity (e.g. the
+    optimised µ-RA term plus head for ``ra``/``vec``, the generated SQL
+    text for ``sqlite``) — logically identical plans share one entry
+    however they were prepared. ``store_version`` makes invalidation
+    automatic: any store mutation bumps the counter and every cached
+    result stops matching; the schema fingerprint covers sessions whose
+    store was rebuilt from scratch (a fresh store restarts its version
+    counter). Backend options are canonicalised with
+    :func:`freeze_options` and partition entries deliberately — even
+    row-invariant tuning knobs like ``parallelism`` keep separate
+    entries. That is conservative (a mixed-options caller re-executes
+    once per spelling) but safe for options added later, and the
+    serving flow fixes one options dict per service anyway.
+    """
+    return (
+        backend_name,
+        plan_token,
+        fingerprint,
+        store_version,
+        freeze_options(options),
     )
 
 
@@ -82,6 +118,25 @@ class LruCache:
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._data
+
+    def get(self, key: Hashable):
+        """The cached value for ``key`` (``None`` on a miss, counted)."""
+        value = self._data.get(key, _MISSING)
+        if value is not _MISSING:
+            self.hits += 1
+            self._data.move_to_end(key)
+            return value
+        self.misses += 1
+        return None
+
+    def put(self, key: Hashable, value) -> None:
+        """Store ``value`` under ``key`` (no counter movement)."""
+        if self.max_size <= 0:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if len(self._data) > self.max_size:
+            self._data.popitem(last=False)
 
     def get_or_create(self, key: Hashable, factory: Callable[[], V]) -> V:
         """Return the cached value for ``key``, creating it on a miss."""

@@ -51,7 +51,17 @@ class Backend(Protocol):
         """Run a prepared plan, returning head-ordered result tuples."""
 
     def explain(self, session: "GraphSession", plan: object) -> str:
-        """Render the prepared plan with the substrate's printer."""
+        """Render the prepared plan with the substrate's printer.
+
+        Backends may additionally implement an optional
+        ``result_token(plan) -> Hashable`` returning the plan's
+        *structural* identity (e.g. the optimised term plus head, or the
+        generated SQL text). Backends that do so opt their executions
+        into the session's result-set cache, keyed on
+        ``(backend name, token, schema fingerprint, store version,
+        frozen backend options)``; backends without the hook are never
+        result-cached.
+        """
 
 
 _REGISTRY: dict[str, Backend] = {}

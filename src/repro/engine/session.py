@@ -20,6 +20,14 @@ A repeated query therefore pays only for execution; hit/miss counters are
 exposed via :attr:`GraphSession.cache_stats`. The schema fingerprint makes
 invalidation automatic: :meth:`GraphSession.update_schema` changes the
 fingerprint, so every cached entry stops matching.
+
+A third, **opt-in** layer removes execution too: constructing the
+session with ``result_cache_size > 0`` caches whole result sets keyed on
+``(backend, structural plan token, schema fingerprint, store version,
+frozen backend options)`` — repeated traffic over an unchanged store
+becomes an O(1) lookup. It is off by default because timed comparisons
+(the benchmark harness) must measure execution, not cache hits; the
+serving entry points (``repro batch`` / ``repro serve``) switch it on.
 """
 
 from __future__ import annotations
@@ -30,7 +38,12 @@ from typing import Mapping, Sequence
 
 from repro.core.rewriter import RewriteOptions, RewriteResult, rewrite_query
 from repro.engine import backends as _backends  # noqa: F401 - registers adapters
-from repro.engine.cache import CacheStats, LruCache, freeze_options
+from repro.engine.cache import (
+    CacheStats,
+    LruCache,
+    freeze_options,
+    result_cache_key,
+)
 from repro.engine.protocol import Backend, available_backends, get_backend
 from repro.gdb.engine import PatternEngine
 from repro.graph.model import PropertyGraph
@@ -134,17 +147,42 @@ class PreparedQuery:
             )
             self.__dict__.update(renewed.__dict__)
 
+    def result_cache_key(self) -> tuple | None:
+        """This plan's result-set cache key (None: not cacheable).
+
+        ``None`` when the session's result cache is disabled, the plan is
+        empty, or the backend doesn't expose a structural plan token.
+        """
+        return self.session._result_key(
+            self.backend, self.plan, self.backend_options
+        )
+
     def execute(self, timeout_seconds: float | None = None) -> frozenset[tuple]:
         self._refresh_if_stale()
         if self.plan is None:
             return frozenset()
-        return self.backend.execute(self.session, self.plan, timeout_seconds)
+        key = self.result_cache_key()
+        if key is not None:
+            hit = self.session._result_cache.get(key)
+            if hit is not None:
+                return hit
+        rows = self.backend.execute(self.session, self.plan, timeout_seconds)
+        if key is not None:
+            self.session._result_cache.put(key, rows)
+        return rows
 
     def explain(self) -> str:
         self._refresh_if_stale()
         if self.plan is None:
             return "-- empty result: the schema proved this query unsatisfiable --"
-        return self.backend.explain(self.session, self.plan)
+        text = self.backend.explain(self.session, self.plan)
+        if self.result_cache_key() is not None:
+            stats = self.session._result_cache.stats()
+            text += (
+                f"\n\n-- result cache: {stats.hits} hit(s), "
+                f"{stats.misses} miss(es), {stats.size} cached result set(s) --"
+            )
+        return text
 
 
 class GraphSession:
@@ -159,6 +197,7 @@ class GraphSession:
         aliases: Mapping[str, tuple[str, ...]] | None = None,
         rewrite_options: RewriteOptions | None = None,
         cache_size: int = 256,
+        result_cache_size: int = 0,
     ):
         self.graph = graph
         self._schema = schema
@@ -186,6 +225,10 @@ class GraphSession:
         self._fingerprint: str | None = None
         self._rewrite_cache = LruCache(cache_size)
         self._plan_cache = LruCache(cache_size)
+        # Whole result sets, keyed on (backend, plan token, fingerprint,
+        # store version, frozen options). Off by default: repeated timed
+        # executions must measure execution — serving flows opt in.
+        self._result_cache = LruCache(result_cache_size)
 
     # -- derived artefacts (built lazily, owned by the session) -----------
     @property
@@ -360,6 +403,33 @@ class GraphSession:
         )
         return prepared.explain()
 
+    # -- the result-set cache ----------------------------------------------
+    @property
+    def result_cache_enabled(self) -> bool:
+        return self._result_cache.max_size > 0
+
+    def _result_key(
+        self, backend: Backend, plan: object | None, backend_options
+    ) -> tuple | None:
+        """The result-cache key for one prepared plan, or None.
+
+        Only backends exposing a structural ``result_token`` participate;
+        the key embeds the store version so any store mutation (new
+        table, new alias view) retires every cached result set.
+        """
+        if plan is None or not self.result_cache_enabled:
+            return None
+        token_of = getattr(backend, "result_token", None)
+        if token_of is None:
+            return None
+        return result_cache_key(
+            backend.name,
+            token_of(plan),
+            self.schema_fingerprint,
+            self.store.version,
+            backend_options,
+        )
+
     # -- introspection -----------------------------------------------------
     @property
     def backends(self) -> tuple[str, ...]:
@@ -370,11 +440,13 @@ class GraphSession:
         return {
             "rewrite": self._rewrite_cache.stats(),
             "plan": self._plan_cache.stats(),
+            "result": self._result_cache.stats(),
         }
 
     def clear_caches(self) -> None:
         self._rewrite_cache.clear()
         self._plan_cache.clear()
+        self._result_cache.clear()
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:

@@ -15,7 +15,10 @@ over columns of dense integer codes:
   physical columnar operators with all column arithmetic resolved to
   positional indices at compile time,
 * :mod:`repro.exec.executor` — runs a compiled program, including
-  semi-naive fixpoint iteration over delta frontiers.
+  semi-naive fixpoint iteration over delta frontiers,
+* :mod:`repro.exec.parallel` — morsel-driven parallel execution: the
+  heavy kernel operators fan out over fixed-size row morsels on a
+  shared thread pool (:class:`~repro.exec.parallel.MorselKernel`).
 
 The :class:`~repro.engine.backends.VecBackend` registered in the engine
 layer wires the pieces behind the standard ``prepare``/``execute``/
@@ -34,18 +37,28 @@ from repro.exec.executor import (
     execute_program,
 )
 from repro.exec.kernels import available_kernels, default_kernel, get_kernel
+from repro.exec.parallel import (
+    DEFAULT_MORSEL_SIZE,
+    MorselKernel,
+    default_parallelism,
+    morsel_ranges,
+)
 
 __all__ = [
     "CompiledProgram",
+    "DEFAULT_MORSEL_SIZE",
     "ExecutionStats",
+    "MorselKernel",
     "StoreEncoding",
     "ValueDictionary",
     "available_kernels",
     "compile_term",
     "default_kernel",
+    "default_parallelism",
     "encoding_for",
     "execute_batch_programs",
     "execute_program",
     "get_kernel",
+    "morsel_ranges",
     "render_program",
 ]

@@ -22,11 +22,17 @@ dictionary-encoded up front against a single frozen code domain, and the
 closed-operator memo spans every program — because the compiler hands
 equal closed subtrees the same operator node, a fixpoint or join shared
 by many queries in the batch is materialised exactly once.
+
+With ``parallelism`` > 1 the runner drives a
+:class:`~repro.exec.parallel.MorselKernel`: hash-join probes, dedup and
+selections fan out over fixed-size row morsels on a shared thread pool
+(numpy kernels release the GIL on large arrays; the pure-Python kernel
+falls back to sequential execution behind the same surface).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro.errors import EvaluationError
 from repro.exec.compile import (
@@ -43,6 +49,7 @@ from repro.exec.compile import (
 )
 from repro.exec.dictionary import StoreEncoding, encoding_for
 from repro.exec.kernels import default_kernel
+from repro.exec.parallel import MorselKernel
 from repro.graph.evaluator import EvalBudget
 from repro.storage.relational import RelationalStore
 
@@ -56,16 +63,29 @@ class ExecutionStats:
     ``memo_hits`` counts closed operators whose materialised result was
     served from the shared memo instead of being recomputed — within one
     program (shared subtrees) and, for batch execution, across programs.
+    ``parallel_ops``/``morsels_dispatched`` describe the morsel-driven
+    fan-outs of a parallel run (zero on sequential or GIL-bound runs);
+    ``result_cache_hits``/``result_cache_misses`` count whole queries the
+    serving layer answered from (or had to add to) the result-set cache.
     """
 
     programs: int = 0
     ops_evaluated: int = 0
     memo_hits: int = 0
+    parallel_ops: int = 0
+    morsels_dispatched: int = 0
+    result_cache_hits: int = 0
+    result_cache_misses: int = 0
 
     def merge(self, other: "ExecutionStats") -> None:
-        self.programs += other.programs
-        self.ops_evaluated += other.ops_evaluated
-        self.memo_hits += other.memo_hits
+        # Total over every counter field: a counter added to this class
+        # is merged automatically instead of being silently dropped.
+        for field_ in fields(self):
+            setattr(
+                self,
+                field_.name,
+                getattr(self, field_.name) + getattr(other, field_.name),
+            )
 
 
 def execute_program(
@@ -74,10 +94,18 @@ def execute_program(
     head: tuple[str, ...] | None = None,
     budget: EvalBudget | None = None,
     kernel=None,
+    parallelism: int | None = None,
+    morsel_size: int | None = None,
 ) -> frozenset[tuple]:
     """Run ``program`` on ``store``; returns decoded, head-ordered rows."""
     return execute_batch_programs(
-        [program], store, heads=[head], budget=budget, kernel=kernel
+        [program],
+        store,
+        heads=[head],
+        budget=budget,
+        kernel=kernel,
+        parallelism=parallelism,
+        morsel_size=morsel_size,
     )[0]
 
 
@@ -88,6 +116,8 @@ def execute_batch_programs(
     budget: EvalBudget | None = None,
     kernel=None,
     stats: ExecutionStats | None = None,
+    parallelism: int | None = None,
+    morsel_size: int | None = None,
 ) -> list[frozenset[tuple]]:
     """Run several compiled programs with shared encoding and shared memo.
 
@@ -97,8 +127,17 @@ def execute_batch_programs(
     their equal closed subtrees are the *same* operator nodes; the
     runner's memo then materialises each shared node once for the whole
     batch. ``stats``, when given, accumulates operator counters.
+
+    ``parallelism`` > 1 runs the heavy kernel operators morsel-parallel
+    over a thread pool (:mod:`repro.exec.parallel`); ``morsel_size``
+    tunes the rows-per-task granularity. Both are no-ops on kernels that
+    hold the GIL — results are identical in every configuration.
     """
     kernel = kernel or default_kernel()
+    morsel: MorselKernel | None = None
+    if parallelism is not None and parallelism > 1:
+        morsel = MorselKernel(kernel, parallelism, morsel_size)
+        kernel = morsel
     encoding = encoding_for(store)
     programs = list(programs)
     heads = list(heads) if heads is not None else [None] * len(programs)
@@ -106,20 +145,27 @@ def execute_batch_programs(
         raise ValueError(
             f"{len(programs)} program(s) but {len(heads)} head(s)"
         )
-    runner = _Runner(programs, encoding, kernel, budget or _NO_BUDGET)
-    decode_row = encoding.dictionary.decode_row
-    results: list[frozenset[tuple]] = []
-    for program, head in zip(programs, heads):
-        table = runner.run(program)
-        columns = program.columns
-        if head is not None and head != columns:
-            table = kernel.select_columns(
-                table, [columns.index(column) for column in head]
+    try:
+        runner = _Runner(programs, encoding, kernel, budget or _NO_BUDGET)
+        decode_row = encoding.dictionary.decode_row
+        results: list[frozenset[tuple]] = []
+        for program, head in zip(programs, heads):
+            table = runner.run(program)
+            columns = program.columns
+            if head is not None and head != columns:
+                table = kernel.select_columns(
+                    table, [columns.index(column) for column in head]
+                )
+            results.append(
+                frozenset(decode_row(row) for row in kernel.to_rows(table))
             )
-        results.append(
-            frozenset(decode_row(row) for row in kernel.to_rows(table))
-        )
+    finally:
+        if morsel is not None:
+            morsel.close()
     if stats is not None:
+        if morsel is not None:
+            runner.stats.parallel_ops = morsel.parallel_ops
+            runner.stats.morsels_dispatched = morsel.morsels_dispatched
         stats.merge(runner.stats)
     return results
 

@@ -5,6 +5,8 @@ needs over tables of integer-code columns:
 
 ======================  ======================================================
 ``NAME``                kernel identifier (``"numpy"`` / ``"python"``)
+``RELEASES_GIL``        True when large ops drop the GIL (morsel tasks can
+                        actually run in parallel threads)
 ``from_columns(c, n)``  build a table from lists of column codes
 ``from_rows(r, w)``     build a table from row tuples (tests, fixpoint glue)
 ``to_rows(t)``          materialise row tuples
@@ -12,10 +14,15 @@ needs over tables of integer-code columns:
 ``width(t)``            column count
 ``empty(w)``            the empty table of ``w`` columns
 ``select_columns``      gather/permute columns by position
+``slice_rows``          the ``[start, stop)`` row morsel of a table
 ``distinct``            drop duplicate rows
 ``select_eq``           keep rows where two columns hold equal codes
 ``concat``              stack two same-width tables
+``concat_many``         stack many same-width tables in one pass
+``hash_partition``      split rows so equal rows share a partition
 ``join``                natural (hash/sort) join on encoded key columns
+``join_build``          index a join's build side once (None: key unpackable)
+``join_probe``          probe one morsel against a prepared build side
 ``empty_state()``       fresh seen-row state for fixpoint difference
 ``difference``          rows not yet in the state; returns (delta, state)
 ======================  ======================================================

@@ -19,6 +19,10 @@ import numpy as np
 
 NAME = "numpy"
 
+#: Large-array numpy primitives drop the GIL, so morsel tasks running
+#: these kernels genuinely overlap on multiple cores.
+RELEASES_GIL = True
+
 #: Packed keys must stay below this bound (headroom under 2^63 - 1).
 _PACK_LIMIT = 1 << 62
 
@@ -68,6 +72,50 @@ def empty(width: int) -> NpTable:
 
 def select_columns(table: NpTable, indices: list[int]) -> NpTable:
     return NpTable([table.cols[i] for i in indices], table.n)
+
+
+def slice_rows(table: NpTable, start: int, stop: int) -> NpTable:
+    """The morsel ``[start, stop)`` of ``table`` (array views, no copy)."""
+    stop = min(stop, table.n)
+    start = max(start, 0)
+    n = max(stop - start, 0)
+    return NpTable([column[start:stop] for column in table.cols], n)
+
+
+def concat_many(tables: list[NpTable], width: int) -> NpTable:
+    """Stack same-width tables with one concatenate per column."""
+    tables = [table for table in tables if table.n]
+    if not tables:
+        return empty(width)
+    if len(tables) == 1:
+        return tables[0]
+    cols = [
+        np.concatenate([table.cols[i] for table in tables])
+        for i in range(width)
+    ]
+    return NpTable(cols, sum(table.n for table in tables))
+
+
+def hash_partition(table: NpTable, nparts: int, domain: int) -> list[NpTable]:
+    """Split rows so equal rows land in the same partition.
+
+    Per-partition dedup is then exact and the merge is concat-only — the
+    parallel-safe union. Falls back to one partition when the row is too
+    wide to pack (callers then just run that partition sequentially).
+    """
+    if nparts <= 1 or table.n == 0 or not table.cols:
+        return [table]
+    key = _pack(table, list(range(len(table.cols))), domain)
+    if key is None:
+        return [table]
+    part = key % nparts
+    out = []
+    for i in range(nparts):
+        mask = part == i
+        out.append(
+            NpTable([column[mask] for column in table.cols], int(mask.sum()))
+        )
+    return out
 
 
 def _take(table: NpTable, row_indices: np.ndarray) -> NpTable:
@@ -123,6 +171,65 @@ def concat(left: NpTable, right: NpTable) -> NpTable:
     return NpTable(cols, left.n + right.n)
 
 
+class JoinBuild:
+    """The shared build side of a hash join: keys sorted once, probed by
+    any number of (possibly concurrent) probe morsels."""
+
+    __slots__ = ("table", "sorted_keys", "order")
+
+    def __init__(self, table: NpTable, sorted_keys, order):
+        self.table = table
+        self.sorted_keys = sorted_keys
+        self.order = order
+
+
+def join_build(
+    build: NpTable, key: list[int], domain: int
+) -> JoinBuild | None:
+    """Sort-index the build side once; ``None`` when the key won't pack."""
+    packed = _pack(build, key, domain)
+    if packed is None:
+        return None
+    order = np.argsort(packed, kind="stable")
+    return JoinBuild(build, packed[order], order)
+
+
+def join_probe(
+    handle: JoinBuild,
+    probe: NpTable,
+    probe_key: list[int],
+    layout: list[tuple[int, int]],
+    build_side: int,
+    domain: int,
+) -> NpTable:
+    """Probe one morsel against a prepared build side.
+
+    ``layout`` maps output columns to ``(side, column)``; ``build_side``
+    says which side number the build table carries. The probe key packs
+    whenever the build key did (same width, same domain).
+    """
+    build = handle.table
+    probe_packed = _pack(probe, probe_key, domain)
+    lo = np.searchsorted(handle.sorted_keys, probe_packed, side="left")
+    hi = np.searchsorted(handle.sorted_keys, probe_packed, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return empty(len(layout))
+    probe_idx = np.repeat(np.arange(probe.n, dtype=_INT), counts)
+    starts = np.repeat(lo, counts)
+    offsets = np.repeat(np.cumsum(counts) - counts, counts)
+    build_idx = handle.order[np.arange(total, dtype=_INT) - offsets + starts]
+
+    out_cols = []
+    for side, column_index in layout:
+        if side == build_side:
+            out_cols.append(build.cols[column_index][build_idx])
+        else:
+            out_cols.append(probe.cols[column_index][probe_idx])
+    return NpTable(out_cols, total)
+
+
 def join(
     left: NpTable,
     right: NpTable,
@@ -132,41 +239,20 @@ def join(
     domain: int,
 ) -> NpTable:
     """Natural join; ``layout`` maps output columns to (side, column)."""
-    left_packed = _pack(left, left_key, domain)
-    right_packed = _pack(right, right_key, domain)
-    if left_packed is None or right_packed is None:
-        return _join_unpackable(left, right, left_key, right_key, layout)
-
     # Sort the smaller side, binary-search with the larger.
     if left.n <= right.n:
         build, probe = left, right
-        build_packed, probe_packed = left_packed, right_packed
+        build_key, probe_key = left_key, right_key
         build_side = 0
     else:
         build, probe = right, left
-        build_packed, probe_packed = right_packed, left_packed
+        build_key, probe_key = right_key, left_key
         build_side = 1
 
-    order = np.argsort(build_packed, kind="stable")
-    sorted_keys = build_packed[order]
-    lo = np.searchsorted(sorted_keys, probe_packed, side="left")
-    hi = np.searchsorted(sorted_keys, probe_packed, side="right")
-    counts = hi - lo
-    total = int(counts.sum())
-    if total == 0:
-        return empty(len(layout))
-    probe_idx = np.repeat(np.arange(probe.n, dtype=_INT), counts)
-    starts = np.repeat(lo, counts)
-    offsets = np.repeat(np.cumsum(counts) - counts, counts)
-    build_idx = order[np.arange(total, dtype=_INT) - offsets + starts]
-
-    out_cols = []
-    for side, column_index in layout:
-        if side == build_side:
-            out_cols.append(build.cols[column_index][build_idx])
-        else:
-            out_cols.append(probe.cols[column_index][probe_idx])
-    return NpTable(out_cols, total)
+    handle = join_build(build, build_key, domain)
+    if handle is None:
+        return _join_unpackable(left, right, left_key, right_key, layout)
+    return join_probe(handle, probe, probe_key, layout, build_side, domain)
 
 
 def _join_unpackable(

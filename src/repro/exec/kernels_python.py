@@ -23,6 +23,10 @@ class PyTable:
 
 NAME = "python"
 
+#: Pure-Python loops hold the GIL throughout, so morsel tasks cannot
+#: overlap — the parallel executor falls back to sequential execution.
+RELEASES_GIL = False
+
 
 def from_columns(codes: list[list[int]], nrows: int) -> PyTable:
     return PyTable([list(column) for column in codes], nrows)
@@ -57,6 +61,40 @@ def select_columns(table: PyTable, indices: list[int]) -> PyTable:
     return PyTable([table.cols[i] for i in indices], table.n)
 
 
+def slice_rows(table: PyTable, start: int, stop: int) -> PyTable:
+    """The morsel ``[start, stop)`` of ``table``."""
+    stop = min(stop, table.n)
+    start = max(start, 0)
+    n = max(stop - start, 0)
+    return PyTable([column[start:stop] for column in table.cols], n)
+
+
+def concat_many(tables: list[PyTable], width: int) -> PyTable:
+    """Stack same-width tables in one pass per column."""
+    tables = [table for table in tables if table.n]
+    if not tables:
+        return empty(width)
+    if len(tables) == 1:
+        return tables[0]
+    cols: list[list[int]] = []
+    for i in range(width):
+        merged: list[int] = []
+        for table in tables:
+            merged.extend(table.cols[i])
+        cols.append(merged)
+    return PyTable(cols, sum(table.n for table in tables))
+
+
+def hash_partition(table: PyTable, nparts: int, domain: int) -> list[PyTable]:
+    """Split rows so equal rows land in the same partition."""
+    if nparts <= 1 or table.n == 0 or not table.cols:
+        return [table]
+    buckets: list[list[tuple[int, ...]]] = [[] for _ in range(nparts)]
+    for row in to_rows(table):
+        buckets[hash(row) % nparts].append(row)
+    return [from_rows(bucket, len(table.cols)) for bucket in buckets]
+
+
 def distinct(table: PyTable, domain: int) -> PyTable:
     unique = set(to_rows(table))
     if len(unique) == table.n:
@@ -75,6 +113,56 @@ def select_eq(table: PyTable, index_a: int, index_b: int) -> PyTable:
 def concat(left: PyTable, right: PyTable) -> PyTable:
     cols = [a + b for a, b in zip(left.cols, right.cols)]
     return PyTable(cols, left.n + right.n)
+
+
+class JoinBuild:
+    """The shared build side of a hash join: hashed once, probed by any
+    number of probe morsels."""
+
+    __slots__ = ("table", "positions")
+
+    def __init__(self, table: PyTable, positions: dict):
+        self.table = table
+        self.positions = positions
+
+
+def join_build(build: PyTable, key: list[int], domain: int) -> JoinBuild:
+    """Hash the build side's key columns once."""
+    positions: dict[tuple, list[int]] = {}
+    for position, row_key in enumerate(to_rows(select_columns(build, key))):
+        positions.setdefault(row_key, []).append(position)
+    return JoinBuild(build, positions)
+
+
+def join_probe(
+    handle: JoinBuild,
+    probe: PyTable,
+    probe_key: list[int],
+    layout: list[tuple[int, int]],
+    build_side: int,
+    domain: int,
+) -> PyTable:
+    """Probe one morsel against a prepared build side."""
+    build = handle.table
+    positions = handle.positions
+    probe_idx: list[int] = []
+    build_idx: list[int] = []
+    for position, row_key in enumerate(
+        to_rows(select_columns(probe, probe_key))
+    ):
+        matches = positions.get(row_key)
+        if matches:
+            probe_idx.extend([position] * len(matches))
+            build_idx.extend(matches)
+
+    out_cols: list[list[int]] = []
+    for side, column_index in layout:
+        if side == build_side:
+            source, idx = build.cols[column_index], build_idx
+        else:
+            source, idx = probe.cols[column_index], probe_idx
+        out_cols.append([source[i] for i in idx])
+    return PyTable(out_cols, len(probe_idx))
 
 
 def join(
@@ -96,28 +184,8 @@ def join(
         build_key, probe_key = right_key, left_key
         build_side = 1
 
-    build_rows = to_rows(select_columns(build, build_key))
-    table: dict[tuple, list[int]] = {}
-    for position, key in enumerate(build_rows):
-        table.setdefault(key, []).append(position)
-
-    probe_rows = to_rows(select_columns(probe, probe_key))
-    probe_idx: list[int] = []
-    build_idx: list[int] = []
-    for position, key in enumerate(probe_rows):
-        matches = table.get(key)
-        if matches:
-            probe_idx.extend([position] * len(matches))
-            build_idx.extend(matches)
-
-    out_cols: list[list[int]] = []
-    for side, column_index in layout:
-        if side == build_side:
-            source, idx = build.cols[column_index], build_idx
-        else:
-            source, idx = probe.cols[column_index], probe_idx
-        out_cols.append([source[i] for i in idx])
-    return PyTable(out_cols, len(probe_idx))
+    handle = join_build(build, build_key, domain)
+    return join_probe(handle, probe, probe_key, layout, build_side, domain)
 
 
 def empty_state():

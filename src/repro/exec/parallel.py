@@ -1,0 +1,201 @@
+"""Morsel-driven parallel execution of the columnar kernels.
+
+The unit of parallelism is the *morsel*: a fixed-size run of rows of one
+encoded table. :class:`MorselKernel` wraps a kernel module behind the
+same surface the executor already drives and fans the heavy operators
+out over a shared :class:`~concurrent.futures.ThreadPoolExecutor`:
+
+* **hash join** — the build side is indexed once
+  (``kernel.join_build``), then every probe-side morsel probes it as its
+  own task (``kernel.join_probe``) and the per-morsel partials merge
+  with one ``concat_many``. In a fixpoint round the delta frontier is
+  usually the build side, so each round re-indexes only the frontier and
+  probes the (large, static) edge relation in parallel;
+* **dedup / union distinct** — rows are hash-partitioned so equal rows
+  land in the same partition, each partition dedups as its own task, and
+  the merge is concat-only (the parallel-safe union: no cross-partition
+  duplicates can exist);
+* **selection** — ``select_eq`` filters row morsels independently.
+
+Everything else (column gathers, renames, the serial fixpoint
+state-difference) delegates to the wrapped kernel unchanged, so the
+executor needs no parallel-specific logic: it just runs with a
+``MorselKernel`` instead of a bare kernel module.
+
+Threads only help when the kernel drops the GIL on large arrays
+(``kernel.RELEASES_GIL``, true for numpy). For the pure-Python kernel
+the wrapper keeps the exact same surface but never spawns a pool —
+parallel and sequential configurations stay result- and API-identical
+on every kernel, which the property tests check directly.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+#: Rows per morsel when the caller doesn't pin one. Small enough that a
+#: four-worker pool gets several tasks per operator on the benchmark
+#: workloads, large enough that one numpy call still amortises well.
+DEFAULT_MORSEL_SIZE = 4096
+
+#: Environment override for the default worker count (used by the CI
+#: matrix leg that runs the whole suite morsel-parallel).
+PARALLELISM_ENV = "REPRO_VEC_PARALLELISM"
+
+
+def default_parallelism() -> int:
+    """The worker count implied by ``REPRO_VEC_PARALLELISM`` (min 1)."""
+    raw = os.environ.get(PARALLELISM_ENV, "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return 1
+    return max(value, 1)
+
+
+def morsel_ranges(nrows: int, morsel_size: int) -> list[tuple[int, int]]:
+    """Split ``nrows`` rows into ``[start, stop)`` runs of ``morsel_size``.
+
+    An empty relation yields no morsels; a relation smaller than one
+    morsel yields exactly one covering the whole table.
+    """
+    if morsel_size < 1:
+        raise ValueError(f"morsel_size must be >= 1, got {morsel_size}")
+    if nrows <= 0:
+        return []
+    return [
+        (start, min(start + morsel_size, nrows))
+        for start in range(0, nrows, morsel_size)
+    ]
+
+
+class MorselKernel:
+    """A kernel module wrapped for morsel-parallel execution.
+
+    Exposes the full kernel surface (unknown attributes delegate to the
+    wrapped module, including ``NAME`` — encoded-table caches therefore
+    stay shared with sequential runs). The pool is created lazily on the
+    first operator that actually fans out and must be released with
+    :meth:`close` (or by using the instance as a context manager).
+
+    ``parallel_ops`` counts operators dispatched as morsel fan-outs and
+    ``morsels_dispatched`` the tasks submitted; both feed
+    :class:`~repro.exec.executor.ExecutionStats`.
+    """
+
+    def __init__(self, base, parallelism: int, morsel_size: int | None = None):
+        if parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+        morsel_size = (
+            DEFAULT_MORSEL_SIZE if morsel_size is None else morsel_size
+        )
+        if morsel_size < 1:
+            raise ValueError(f"morsel_size must be >= 1, got {morsel_size}")
+        self.base = base
+        self.parallelism = parallelism
+        self.morsel_size = morsel_size
+        self.parallel_ops = 0
+        self.morsels_dispatched = 0
+        self._pool: ThreadPoolExecutor | None = None
+
+    def __getattr__(self, name):
+        return getattr(self.base, name)
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "MorselKernel":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- dispatch helpers --------------------------------------------------
+    @property
+    def effective_parallelism(self) -> int:
+        """Workers that can actually overlap (1 under a GIL-bound kernel)."""
+        if not getattr(self.base, "RELEASES_GIL", False):
+            return 1
+        return self.parallelism
+
+    def _fans_out(self, nrows: int) -> bool:
+        # A fan-out needs at least two morsels to pay for the dispatch.
+        return (
+            self.effective_parallelism > 1 and nrows > self.morsel_size
+        )
+
+    def _run(self, tasks):
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.parallelism,
+                thread_name_prefix="repro-morsel",
+            )
+        self.parallel_ops += 1
+        self.morsels_dispatched += len(tasks)
+        return list(self._pool.map(lambda task: task(), tasks))
+
+    # -- morsel-parallel operators -----------------------------------------
+    def join(self, left, right, left_key, right_key, layout, domain):
+        base = self.base
+        # Index the smaller side once; probe with the larger, morselized.
+        if base.nrows(left) <= base.nrows(right):
+            build, probe = left, right
+            build_key, probe_key = left_key, right_key
+            build_side = 0
+        else:
+            build, probe = right, left
+            build_key, probe_key = right_key, left_key
+            build_side = 1
+        if not self._fans_out(base.nrows(probe)):
+            return base.join(left, right, left_key, right_key, layout, domain)
+        handle = base.join_build(build, build_key, domain)
+        if handle is None:  # key too wide to pack: one sequential join
+            return base.join(left, right, left_key, right_key, layout, domain)
+        partials = self._run(
+            [
+                lambda s=start, e=stop: base.join_probe(
+                    handle,
+                    base.slice_rows(probe, s, e),
+                    probe_key,
+                    layout,
+                    build_side,
+                    domain,
+                )
+                for start, stop in morsel_ranges(
+                    base.nrows(probe), self.morsel_size
+                )
+            ]
+        )
+        return base.concat_many(partials, len(layout))
+
+    def distinct(self, table, domain):
+        base = self.base
+        if not self._fans_out(base.nrows(table)) or base.width(table) == 0:
+            return base.distinct(table, domain)
+        parts = base.hash_partition(table, self.parallelism, domain)
+        if len(parts) == 1:  # row too wide to partition by packed key
+            return base.distinct(table, domain)
+        partials = self._run(
+            [lambda p=part: base.distinct(p, domain) for part in parts]
+        )
+        return base.concat_many(partials, base.width(table))
+
+    def select_eq(self, table, index_a, index_b):
+        base = self.base
+        if not self._fans_out(base.nrows(table)):
+            return base.select_eq(table, index_a, index_b)
+        partials = self._run(
+            [
+                lambda s=start, e=stop: base.select_eq(
+                    base.slice_rows(table, s, e), index_a, index_b
+                )
+                for start, stop in morsel_ranges(
+                    base.nrows(table), self.morsel_size
+                )
+            ]
+        )
+        return base.concat_many(partials, base.width(table))

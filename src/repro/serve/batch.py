@@ -16,6 +16,14 @@ occurs in the batch — and the execution side shares physical work:
   distinct prepared plan executes once and fans its rows out to all the
   requests that asked for it.
 
+When the session's **result-set cache** is enabled, every distinct plan
+is first looked up by ``(backend, structural plan token, schema
+fingerprint, store version, frozen backend options)`` — plans already
+answered under the current store skip execution entirely and only the
+misses enter the shared runner (morsel-parallel when the plans carry a
+``parallelism`` option). Hits and misses are counted on the batch's
+:class:`~repro.exec.executor.ExecutionStats`.
+
 :class:`BatchReport` records what was shared so callers (benchmarks,
 the CLI, tests) can see the batching effect instead of trusting it.
 """
@@ -28,6 +36,7 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 from repro.engine.backends import VecPlan
 from repro.exec.executor import ExecutionStats, execute_batch_programs
 from repro.exec.kernels import get_kernel
+from repro.exec.parallel import default_parallelism
 from repro.graph.evaluator import EvalBudget
 from repro.query.model import UCQT
 from repro.query.parser import parse_query
@@ -129,10 +138,18 @@ def _execute_vec_shared(
     prepared: Mapping[str, "PreparedQuery"],
     timeout_seconds: float | None,
 ) -> tuple[dict[str, frozenset[tuple]], ExecutionStats]:
-    """Run every distinct ``vec`` plan through one shared batch runner."""
-    runnable: list[tuple[str, VecPlan]] = []
+    """Run every distinct ``vec`` plan through one shared batch runner.
+
+    Plans whose result set is already cached (result cache enabled,
+    store unchanged) never reach the runner; only the misses execute,
+    then back-fill the cache for the next batch.
+    """
+    runnable: list[tuple[str, VecPlan, tuple | None]] = []
     rows_by_key: dict[str, frozenset[tuple]] = {}
     kernel = None
+    parallelism: int | None = None
+    morsel_size: int | None = None
+    stats = ExecutionStats()
     for key, handle in prepared.items():
         handle._refresh_if_stale()
         plan = handle.plan
@@ -144,19 +161,38 @@ def _execute_vec_shared(
                 f"backend 'vec' produced a {type(plan).__name__}, "
                 "not a VecPlan"
             )
+        cache_key = handle.result_cache_key()
+        if cache_key is not None:
+            hit = session._result_cache.get(cache_key)
+            if hit is not None:
+                rows_by_key[key] = hit
+                stats.result_cache_hits += 1
+                continue
+            stats.result_cache_misses += 1
         if plan.kernel is not None:
             kernel = get_kernel(plan.kernel)
-        runnable.append((key, plan))
-    stats = ExecutionStats()
+        if plan.parallelism is not None:
+            parallelism = plan.parallelism
+        if plan.morsel_size is not None:
+            morsel_size = plan.morsel_size
+        runnable.append((key, plan, cache_key))
+    if parallelism is None:
+        # No plan pinned a worker count: honour the environment default
+        # (the CI matrix leg that runs everything morsel-parallel).
+        parallelism = default_parallelism()
     if runnable:
         results = execute_batch_programs(
-            [plan.program for _, plan in runnable],
+            [plan.program for _, plan, _ in runnable],
             session.store,
-            heads=[plan.head for _, plan in runnable],
+            heads=[plan.head for _, plan, _ in runnable],
             budget=EvalBudget(timeout_seconds),
             kernel=kernel,
             stats=stats,
+            parallelism=parallelism,
+            morsel_size=morsel_size,
         )
-        for (key, _), rows in zip(runnable, results):
+        for (key, _, cache_key), rows in zip(runnable, results):
             rows_by_key[key] = rows
+            if cache_key is not None:
+                session._result_cache.put(cache_key, rows)
     return rows_by_key, stats
