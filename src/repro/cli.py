@@ -18,9 +18,11 @@ Four subcommands:
   (bounded worker pool, admission batching).
 
 ``query``, ``batch`` and ``serve`` accept ``--parallelism N`` /
-``--morsel-size M`` (morsel-driven parallel ``vec`` execution); the
-serving subcommands cache whole result sets per store version unless
-``--no-result-cache`` is given.
+``--morsel-size M`` (morsel-driven parallel ``vec`` execution) and
+``--planner {greedy,cost}`` (cost-based candidate selection instead of
+the linear rewrite pipeline); ``repro query --explain --candidates``
+prints the ranked candidate table. The serving subcommands cache whole
+result sets per store version unless ``--no-result-cache`` is given.
 """
 
 from __future__ import annotations
@@ -183,6 +185,7 @@ def _run_batch_inner(args: argparse.Namespace) -> int:
                     timeout_seconds=args.timeout,
                     rewrite=rewrite,
                     backend_options=backend_options,
+                    planner=args.planner,
                 )
             )
             summary = (
@@ -201,6 +204,7 @@ def _run_batch_inner(args: argparse.Namespace) -> int:
                 timeout_seconds=args.timeout,
                 rewrite=rewrite,
                 backend_options=backend_options,
+                planner=args.planner,
             )
             results = list(outcome.results)
             report = outcome.report
@@ -251,15 +255,21 @@ def _run_query_inner(args: argparse.Namespace) -> int:
     session = _load_session(args.dataset, args.scale)
     with session:
         rewrite = not args.baseline
-        if args.explain:
-            print(
-                session.explain(
-                    args.text,
-                    args.backend,
-                    rewrite=rewrite,
-                    backend_options=_vec_backend_options(args),
-                )
+        # --candidates implies cost-based planning: the candidate table
+        # only exists where candidates were enumerated and ranked.
+        planner = "cost" if args.candidates else args.planner
+        if args.explain or args.candidates:
+            prepared = session.prepare(
+                args.text,
+                args.backend,
+                rewrite=rewrite,
+                backend_options=_vec_backend_options(args),
+                planner=planner,
             )
+            if args.explain:
+                print(prepared.explain())
+            elif prepared.choice is not None:
+                print(prepared.choice.render())
             print()
         if rewrite:
             result = session.rewrite(args.text)
@@ -272,6 +282,7 @@ def _run_query_inner(args: argparse.Namespace) -> int:
             timeout_seconds=args.timeout,
             rewrite=rewrite,
             backend_options=_vec_backend_options(args),
+            planner=planner,
         )
         for row in sorted(rows)[: args.limit]:
             print(row)
@@ -290,6 +301,16 @@ def _add_parallel_arguments(parser) -> None:
     parser.add_argument(
         "--morsel-size", type=int, default=None, metavar="ROWS",
         help="vec backend: rows per morsel task (default 4096)",
+    )
+
+
+def _add_planner_argument(parser) -> None:
+    parser.add_argument(
+        "--planner", choices=("greedy", "cost"), default=None,
+        help="plan selection: 'greedy' runs the linear rewrite pipeline, "
+        "'cost' enumerates candidate plans (original / rewritten / "
+        "partial rewrites / join orders) and executes the cheapest under "
+        "the backend's cost model (default: greedy)",
     )
 
 
@@ -353,11 +374,17 @@ def main(argv: list[str] | None = None) -> int:
         "--explain", action="store_true",
         help="print the backend's plan before executing",
     )
+    query.add_argument(
+        "--candidates", action="store_true",
+        help="print the cost-based planner's ranked candidate table "
+        "(implies --planner cost)",
+    )
     query.add_argument("--timeout", type=float, default=None)
     query.add_argument(
         "--limit", type=int, default=20, help="rows to print (default 20)"
     )
     _add_parallel_arguments(query)
+    _add_planner_argument(query)
 
     for name, help_text in (
         ("batch", "execute a file of queries as one shared batch"),
@@ -404,6 +431,7 @@ def main(argv: list[str] | None = None) -> int:
             "for serving: repeated queries skip execution entirely)",
         )
         _add_parallel_arguments(sub)
+        _add_planner_argument(sub)
         if name == "serve":
             sub.add_argument(
                 "--workers", type=int, default=2,

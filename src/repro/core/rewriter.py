@@ -338,11 +338,27 @@ def _rewrite_cqt(
     if not any_change:
         return None
 
+    rewritten = _combine_fragments(cqt, per_relation, options, stats)
+    if rewritten is None:
+        stats.relations_reverted_by_guard += 1
+    return rewritten
+
+
+def _combine_fragments(
+    cqt: CQT,
+    per_relation: list[list[QueryFragment]],
+    options: RewriteOptions,
+    stats: RewriteStats,
+) -> list[CQT] | None:
+    """Distribute per-relation alternatives over the CQT.
+
+    Returns None when the product would exceed ``max_disjuncts`` (the
+    caller decides whether that counts as a guard reversion).
+    """
     combo_count = 1
     for alternatives in per_relation:
         combo_count *= len(alternatives)
     if combo_count > options.max_disjuncts:
-        stats.relations_reverted_by_guard += 1
         return None
 
     rewritten: list[CQT] = []
@@ -383,6 +399,112 @@ def rewrite_query(
         return RewriteResult(query, query, reverted=True, stats=stats)
     result = UCQT(query.head, tuple(new_disjuncts))
     return RewriteResult(query, result, reverted=False, stats=stats)
+
+
+def _rewrite_cqt_site(
+    cqt: CQT,
+    schema: GraphSchema,
+    options: RewriteOptions,
+    stats: RewriteStats,
+    fresh,
+    site: int,
+) -> list[CQT] | None:
+    """Rewrite exactly one relation of a CQT, keeping the others original.
+
+    The masked variant of :func:`_rewrite_cqt` behind the planner's
+    partial-rewrite candidates: relation ``site`` gets its schema
+    alternatives, every other relation is kept verbatim. Returns None if
+    the site yields nothing (no change or guard tripped), [] if the site
+    is unsatisfiable (the disjunct disappears).
+    """
+    per_relation: list[list[QueryFragment]] = []
+    for index, relation in enumerate(cqt.relations):
+        if index != site:
+            per_relation.append([QueryFragment(relations=[relation])])
+            continue
+        alternatives = _relation_alternatives(
+            relation, schema, options, stats, fresh
+        )
+        if alternatives == []:
+            return []
+        if alternatives is None:
+            return None
+        per_relation.append(alternatives)
+
+    return _combine_fragments(cqt, per_relation, options, stats)
+
+
+def enumerate_rewrites(
+    query: UCQT,
+    schema: GraphSchema,
+    options: RewriteOptions | None = None,
+    max_partial: int = 6,
+) -> list[tuple[str, RewriteResult]]:
+    """Candidate rewrites of a query, labelled, for the cost-based planner.
+
+    Today's pipeline is all-or-nothing: :func:`rewrite_query` either
+    commits to rewriting *every* relation that the schema can enrich or
+    reverts wholesale. This enumerates the middle ground as explicit
+    candidates:
+
+    * ``"rewritten"`` — the full rewrite (absent when it reverted),
+    * ``"partial[d.r]"`` — the schema rewriting applied to relation ``r``
+      of disjunct ``d`` only, every other relation kept original (at most
+      ``max_partial`` of these, only emitted when they differ from both
+      the original and the full rewrite).
+
+    Partial sites are tried even when the full rewrite *reverted*: the
+    all-or-nothing guard trips on the product of every relation's
+    alternatives, so a single-site rewrite can fit comfortably under
+    ``max_disjuncts`` where the full rewrite blew past it — exactly the
+    middle ground the boolean revert used to discard.
+
+    The original query itself is *not* in the list — it is always a
+    candidate and the caller adds it unconditionally.
+    """
+    options = options or RewriteOptions()
+    full = rewrite_query(query, schema, options)
+    candidates: list[tuple[str, RewriteResult]] = []
+    seen = {str(query)}
+    if not full.reverted:
+        candidates.append(("rewritten", full))
+        seen.add(str(full.query))
+
+    # Partial sites only make sense when there is more than one relation
+    # to toggle — with a single relation, "partial" IS the full rewrite.
+    if sum(len(cqt.relations) for cqt in query.disjuncts) < 2:
+        return candidates
+
+    partial_count = 0
+    for disjunct_index, cqt in enumerate(query.disjuncts):
+        for relation_index in range(len(cqt.relations)):
+            if partial_count >= max_partial:
+                return candidates
+            stats = RewriteStats()  # throwaway: stats belong to the full run
+            fresh = _fresh_namer(query)
+            rewritten = _rewrite_cqt_site(
+                cqt, schema, options, stats, fresh, relation_index
+            )
+            if rewritten is None:
+                continue
+            disjuncts: list[CQT] = []
+            for index, original_cqt in enumerate(query.disjuncts):
+                if index == disjunct_index:
+                    disjuncts.extend(rewritten)
+                else:
+                    disjuncts.append(original_cqt)
+            partial = UCQT(query.head, tuple(disjuncts))
+            if str(partial) in seen:
+                continue
+            seen.add(str(partial))
+            partial_count += 1
+            candidates.append(
+                (
+                    f"partial[{disjunct_index}.{relation_index}]",
+                    RewriteResult(query, partial, reverted=False, stats=stats),
+                )
+            )
+    return candidates
 
 
 def _fresh_namer(query: UCQT):

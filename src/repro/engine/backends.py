@@ -28,7 +28,7 @@ from typing import TYPE_CHECKING, Mapping
 
 from repro.engine.protocol import register_backend
 from repro.exec.compile import CompiledProgram, compile_term
-from repro.exec.executor import execute_program
+from repro.exec.executor import ExecutionStats, execute_program
 from repro.exec.kernels import default_kernel, get_kernel
 from repro.exec.parallel import DEFAULT_MORSEL_SIZE, default_parallelism
 from repro.gdb.cypher import cypher_expressible, to_cypher
@@ -39,6 +39,7 @@ from repro.query.model import UCQT
 from repro.ra.evaluate import evaluate_term
 from repro.ra.optimizer import optimize_term
 from repro.ra.plan import explain as explain_ra_term
+from repro.ra.stats import Estimator, validate_fixpoint_growth
 from repro.ra.terms import RaTerm
 from repro.ra.translate import TranslationContext, ucqt_to_ra
 from repro.sql.generate import ucqt_to_sql
@@ -47,7 +48,40 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.session import GraphSession
 
 
+def _validate_growth_option(options: Mapping | None) -> float | None:
+    """Validate the shared ``fixpoint_growth`` estimator option."""
+    if not options:
+        return None
+    growth = options.get("fixpoint_growth")
+    if growth is None:
+        return None
+    return validate_fixpoint_growth(growth)
+
+
+def _estimator_for(session: "GraphSession", options: Mapping | None):
+    growth = _validate_growth_option(options)
+    if growth is None:
+        return None
+    return Estimator(session.store, fixpoint_growth=growth)
+
+
 # -- µ-RA engine (the PostgreSQL stand-in) ------------------------------------
+#: The backend options the ``ra`` backend accepts.
+RA_OPTIONS = frozenset({"fixpoint_growth"})
+
+
+def _validate_ra_options(options: Mapping | None) -> None:
+    if not options:
+        return
+    unknown = sorted(set(options) - RA_OPTIONS)
+    if unknown:
+        raise ValueError(
+            f"unknown ra backend option(s) {', '.join(map(repr, unknown))}; "
+            f"accepted options: {', '.join(sorted(RA_OPTIONS))}"
+        )
+    _validate_growth_option(options)
+
+
 @dataclass(frozen=True)
 class RaPlan:
     """An optimised µ-RA term plus the head column contract."""
@@ -65,9 +99,23 @@ class RaBackend:
         query: UCQT,
         options: Mapping | None = None,
     ) -> RaPlan:
+        _validate_ra_options(options)
         term = optimize_term(
-            ucqt_to_ra(query, TranslationContext()), session.store
+            ucqt_to_ra(query, TranslationContext()),
+            session.store,
+            estimator=_estimator_for(session, options),
         )
+        return RaPlan(term=term, head=query.head)
+
+    def prepare_from_term(
+        self,
+        session: "GraphSession",
+        term: RaTerm,
+        query: UCQT,
+        options: Mapping | None = None,
+    ) -> RaPlan:
+        """Wrap a term the cost-based planner already optimised."""
+        _validate_ra_options(options)
         return RaPlan(term=term, head=query.head)
 
     def execute(
@@ -94,7 +142,9 @@ class RaBackend:
 # -- vectorized columnar engine -----------------------------------------------
 #: The backend options the ``vec`` backend accepts (typos are rejected
 #: at prepare time instead of silently ignored).
-VEC_OPTIONS = frozenset({"kernel", "parallelism", "morsel_size"})
+VEC_OPTIONS = frozenset(
+    {"kernel", "parallelism", "morsel_size", "fixpoint_growth"}
+)
 
 
 def _positive_int_option(options: Mapping, key: str) -> int | None:
@@ -124,6 +174,7 @@ def _validate_vec_options(
     kernel = options.get("kernel")
     if kernel is not None:
         get_kernel(kernel)  # fail at prepare time, not execute time
+    _validate_growth_option(options)
     return (
         kernel,
         _positive_int_option(options, "parallelism"),
@@ -169,8 +220,28 @@ class VecBackend:
     ) -> VecPlan:
         kernel, parallelism, morsel_size = _validate_vec_options(options)
         term = optimize_term(
-            ucqt_to_ra(query, TranslationContext()), session.store
+            ucqt_to_ra(query, TranslationContext()),
+            session.store,
+            estimator=_estimator_for(session, options),
         )
+        return VecPlan(
+            term=term,
+            program=compile_term(term, session.store),
+            head=query.head,
+            kernel=kernel,
+            parallelism=parallelism,
+            morsel_size=morsel_size,
+        )
+
+    def prepare_from_term(
+        self,
+        session: "GraphSession",
+        term: RaTerm,
+        query: UCQT,
+        options: Mapping | None = None,
+    ) -> VecPlan:
+        """Compile a term the cost-based planner already optimised."""
+        kernel, parallelism, morsel_size = _validate_vec_options(options)
         return VecPlan(
             term=term,
             program=compile_term(term, session.store),
@@ -186,6 +257,17 @@ class VecBackend:
         plan: VecPlan,
         timeout_seconds: float | None = None,
     ) -> frozenset[tuple]:
+        return self.execute_with_stats(session, plan, timeout_seconds, None)
+
+    def execute_with_stats(
+        self,
+        session: "GraphSession",
+        plan: VecPlan,
+        timeout_seconds: float | None = None,
+        stats: ExecutionStats | None = None,
+    ) -> frozenset[tuple]:
+        """Execute, optionally collecting per-operator actual
+        cardinalities (the adaptive planner's feedback signal)."""
         parallelism = (
             plan.parallelism
             if plan.parallelism is not None
@@ -199,6 +281,7 @@ class VecBackend:
             kernel=get_kernel(plan.kernel) if plan.kernel else None,
             parallelism=parallelism,
             morsel_size=plan.morsel_size,
+            stats=stats,
         )
 
     def explain(self, session: "GraphSession", plan: VecPlan) -> str:

@@ -153,6 +153,14 @@ class LruCache:
                 self._data.popitem(last=False)
         return value
 
+    def evict(self, key: Hashable) -> bool:
+        """Drop one entry (the adaptive planner's re-plan path).
+
+        Returns True when the key was cached. Counters are untouched —
+        eviction is bookkeeping, not a lookup.
+        """
+        return self._data.pop(key, _MISSING) is not _MISSING
+
     def clear(self) -> None:
         """Drop all entries and reset the hit/miss counters."""
         self._data.clear()

@@ -53,14 +53,25 @@ class Backend(Protocol):
     def explain(self, session: "GraphSession", plan: object) -> str:
         """Render the prepared plan with the substrate's printer.
 
-        Backends may additionally implement an optional
-        ``result_token(plan) -> Hashable`` returning the plan's
-        *structural* identity (e.g. the optimised term plus head, or the
-        generated SQL text). Backends that do so opt their executions
-        into the session's result-set cache, keyed on
-        ``(backend name, token, schema fingerprint, store version,
-        frozen backend options)``; backends without the hook are never
-        result-cached.
+        Backends may additionally implement optional hooks:
+
+        * ``result_token(plan) -> Hashable`` — the plan's *structural*
+          identity (e.g. the optimised term plus head, or the generated
+          SQL text). Backends that do so opt their executions into the
+          session's result-set cache, keyed on ``(backend name, token,
+          schema fingerprint, store version, frozen backend options)``;
+          backends without the hook are never result-cached.
+        * ``prepare_from_term(session, term, query, options) -> plan`` —
+          compile a µ-RA term the cost-based planner already optimised,
+          skipping the backend's own translate+optimise. Backends
+          without it receive the winning candidate's *query* through
+          ``prepare`` instead (their candidate space is then the rewrite
+          choice, costed via the RA proxy).
+        * ``execute_with_stats(session, plan, timeout, stats) -> rows``
+          — like ``execute`` but filling an
+          :class:`~repro.exec.executor.ExecutionStats` with actual
+          per-operator cardinalities; cost-planned sessions use it to
+          close the adaptive feedback loop.
         """
 
 

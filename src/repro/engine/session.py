@@ -45,10 +45,13 @@ from repro.engine.cache import (
     result_cache_key,
 )
 from repro.engine.protocol import Backend, available_backends, get_backend
+from repro.exec.executor import ExecutionStats
 from repro.gdb.engine import PatternEngine
 from repro.graph.model import PropertyGraph
-from repro.query.model import UCQT
+from repro.planner import PlanChoice, plan_query, validate_planner
+from repro.query.model import UCQT, drop_unsatisfiable_disjuncts
 from repro.query.parser import parse_query
+from repro.ra.stats import store_statistics
 from repro.schema.model import GraphSchema
 from repro.sql.sqlite_backend import SqliteBackend
 from repro.storage.relational import RelationalStore
@@ -82,24 +85,9 @@ def schema_fingerprint(
     return digest.hexdigest()[:16]
 
 
-def _drop_unsatisfiable_disjuncts(query: UCQT) -> UCQT:
-    """Remove disjuncts whose label atoms intersect to the empty set.
-
-    The rewriter *appends* its inferred label atoms to any user-written
-    ones, so a disjunct can end up demanding disjoint label sets for one
-    variable — satisfiable by no node. The graph-side engines evaluate
-    such disjuncts to nothing, but the relational translators reject an
-    empty node-set semi-join; normalising here keeps every backend on
-    identical (and minimal) input.
-    """
-    keep = tuple(
-        cqt
-        for cqt in query.disjuncts
-        if all(cqt.labels_for(var) != frozenset() for var in cqt.variables())
-    )
-    if len(keep) == len(query.disjuncts):
-        return query
-    return UCQT(query.head, keep)
+# The normalisation now lives in repro.query.model so the planner can
+# apply it per candidate; the session keeps using it under this name.
+_drop_unsatisfiable_disjuncts = drop_unsatisfiable_disjuncts
 
 
 @dataclass
@@ -114,6 +102,12 @@ class PreparedQuery:
     if the session's schema changes, the next ``execute``/``explain``
     transparently re-prepares against the new schema instead of running
     a stale plan over the rebuilt store.
+
+    Under the cost-based planner (``planner="cost"``), ``choice`` holds
+    the ranked candidate table (``explain`` renders it), executions on
+    stats-capable backends populate ``last_execution_stats`` with actual
+    cardinalities next to the winner's estimate, and every execution
+    feeds the session's adaptive feedback loop.
     """
 
     session: "GraphSession"
@@ -126,6 +120,10 @@ class PreparedQuery:
     rewrite: bool
     options: "RewriteOptions | None"
     backend_options: Mapping | None = None
+    planner: str = "greedy"
+    choice: PlanChoice | None = None
+    plan_key: tuple | None = None
+    last_execution_stats: ExecutionStats | None = None
 
     @property
     def backend_name(self) -> str:
@@ -133,7 +131,8 @@ class PreparedQuery:
 
     @property
     def reverted(self) -> bool:
-        """True when the schema rewriter kept the original query."""
+        """True when the executed query is the original (the rewriter
+        kept it, or the cost planner chose it over the rewrites)."""
         return self.rewrite_result.reverted if self.rewrite_result else True
 
     def _refresh_if_stale(self) -> None:
@@ -144,6 +143,7 @@ class PreparedQuery:
                 rewrite=self.rewrite,
                 options=self.options,
                 backend_options=self.backend_options,
+                planner=self.planner,
             )
             self.__dict__.update(renewed.__dict__)
 
@@ -166,7 +166,22 @@ class PreparedQuery:
             hit = self.session._result_cache.get(key)
             if hit is not None:
                 return hit
-        rows = self.backend.execute(self.session, self.plan, timeout_seconds)
+        stats: ExecutionStats | None = None
+        runner = getattr(self.backend, "execute_with_stats", None)
+        if self.choice is not None and runner is not None:
+            stats = ExecutionStats()
+            rows = runner(self.session, self.plan, timeout_seconds, stats)
+        else:
+            rows = self.backend.execute(
+                self.session, self.plan, timeout_seconds
+            )
+        if self.choice is not None:
+            if stats is None:
+                stats = ExecutionStats(programs=1)
+            stats.estimated_rows += self.choice.winner.rows
+            stats.actual_rows += len(rows)
+            self.last_execution_stats = stats
+            self.session._observe_execution(self, len(rows), stats)
         if key is not None:
             self.session._result_cache.put(key, rows)
         return rows
@@ -174,8 +189,13 @@ class PreparedQuery:
     def explain(self) -> str:
         self._refresh_if_stale()
         if self.plan is None:
-            return "-- empty result: the schema proved this query unsatisfiable --"
+            text = "-- empty result: the schema proved this query unsatisfiable --"
+            if self.choice is not None:
+                text += f"\n\n{self.choice.render()}"
+            return text
         text = self.backend.explain(self.session, self.plan)
+        if self.choice is not None:
+            text += f"\n\n{self.choice.render()}"
         if self.result_cache_key() is not None:
             stats = self.session._result_cache.stats()
             text += (
@@ -198,6 +218,8 @@ class GraphSession:
         rewrite_options: RewriteOptions | None = None,
         cache_size: int = 256,
         result_cache_size: int = 0,
+        planner: str = "greedy",
+        replan_error_threshold: float = 8.0,
     ):
         self.graph = graph
         self._schema = schema
@@ -220,6 +242,20 @@ class GraphSession:
         else:
             self._aliases = {k: tuple(v) for k, v in (aliases or {}).items()}
         self.rewrite_options = rewrite_options or RewriteOptions()
+        #: Default planning mode: ``"greedy"`` runs the classic linear
+        #: pipeline; ``"cost"`` enumerates candidates and picks by cost.
+        self.planner = validate_planner(planner)
+        if replan_error_threshold < 1.0:
+            raise ValueError(
+                "replan_error_threshold is an error *factor* "
+                f"(max/min >= 1), got {replan_error_threshold!r}"
+            )
+        #: Estimated-vs-actual error factor beyond which a cost-planned
+        #: entry is evicted from the plan cache and planned again
+        #: against the corrected statistics.
+        self.replan_error_threshold = replan_error_threshold
+        self._planner_replans = 0
+        self._planner_observations = 0
         self._sqlite: SqliteBackend | None = None
         self._pattern_engine: PatternEngine | None = None
         self._fingerprint: str | None = None
@@ -294,6 +330,7 @@ class GraphSession:
         rewrite: bool = True,
         options: RewriteOptions | None = None,
         backend_options: Mapping | None = None,
+        planner: str | None = None,
     ) -> PreparedQuery:
         """Compile a query for one backend, through both cache layers.
 
@@ -303,10 +340,22 @@ class GraphSession:
         ``vec``); the mapping is canonicalised (sorted, recursively) into
         the plan-cache key, so logically identical option dicts share one
         cache entry regardless of insertion order.
+
+        ``planner`` overrides the session default: ``"greedy"`` is the
+        classic linear pipeline (rewrite when profitable per the
+        rewriter's own heuristic, one greedy join order); ``"cost"``
+        enumerates candidate plans — original, full and partial
+        rewrites, alternative join orders — and executes the cheapest
+        under the backend's cost profile.
         """
         query = self._as_query(query)
         backend_impl = get_backend(backend)
+        planner_mode = validate_planner(planner or self.planner)
         options = (options or self.rewrite_options) if rewrite else None
+        if planner_mode == "cost":
+            return self._prepare_cost(
+                query, backend_impl, rewrite, options, backend_options
+            )
         rewrite_result = None
         executed = query
         if rewrite:
@@ -340,6 +389,66 @@ class GraphSession:
             self.schema_fingerprint, rewrite, options, backend_options,
         )
 
+    def _prepare_cost(
+        self,
+        query: UCQT,
+        backend_impl: Backend,
+        rewrite: bool,
+        options: RewriteOptions | None,
+        backend_options: Mapping | None,
+    ) -> PreparedQuery:
+        """The cost-based planning path of :meth:`prepare`.
+
+        Enumerates candidates, ranks them under the backend's cost
+        profile and compiles the winner — via the backend's
+        ``prepare_from_term`` hook when it executes µ-RA terms directly
+        (``ra``/``vec``), else by handing it the winning candidate's
+        query text (``sqlite``/``gdb``/``reference``, whose candidate
+        space is the rewrite choice; the RA cost is their proxy). The
+        ``(plan, choice)`` pair is cached like any greedy plan, under a
+        planner-tagged key.
+        """
+        key = (
+            "planner:cost",
+            backend_impl.name,
+            str(query),
+            rewrite,
+            self.schema_fingerprint,
+            options,
+            freeze_options(backend_options),
+        )
+
+        def plan_candidates():
+            growth = (backend_options or {}).get("fixpoint_growth")
+            choice = plan_query(
+                query,
+                self._schema,
+                self.store,
+                backend_impl.name,
+                rewrite=rewrite,
+                options=options,
+                fixpoint_growth=growth,
+            )
+            winner = choice.winner.candidate
+            if winner.term is None:
+                return None, choice
+            from_term = getattr(backend_impl, "prepare_from_term", None)
+            if from_term is not None:
+                plan = from_term(self, winner.term, winner.query, backend_options)
+            elif backend_options is None:
+                plan = backend_impl.prepare(self, winner.query)
+            else:
+                plan = backend_impl.prepare(self, winner.query, backend_options)
+            return plan, choice
+
+        plan, choice = self._plan_cache.get_or_create(key, plan_candidates)
+        winner = choice.winner.candidate
+        return PreparedQuery(
+            self, backend_impl, query, winner.query, winner.rewrite_result,
+            plan, self.schema_fingerprint, rewrite, options, backend_options,
+            planner="cost", choice=choice, plan_key=key,
+        )
+
     def execute(
         self,
         query: UCQT | str,
@@ -349,11 +458,13 @@ class GraphSession:
         rewrite: bool = True,
         options: RewriteOptions | None = None,
         backend_options: Mapping | None = None,
+        planner: str | None = None,
     ) -> frozenset[tuple]:
         """Rewrite, plan (both cached) and run a query on one backend."""
         prepared = self.prepare(
             query, backend,
             rewrite=rewrite, options=options, backend_options=backend_options,
+            planner=planner,
         )
         return prepared.execute(timeout_seconds)
 
@@ -366,6 +477,7 @@ class GraphSession:
         rewrite: bool = True,
         options: RewriteOptions | None = None,
         backend_options: Mapping | None = None,
+        planner: str | None = None,
     ) -> list[frozenset[tuple]]:
         """Execute a batch of queries, sharing work across the batch.
 
@@ -384,6 +496,7 @@ class GraphSession:
             self, queries, backend,
             timeout_seconds=timeout_seconds, rewrite=rewrite,
             options=options, backend_options=backend_options,
+            planner=planner,
         )
         return list(outcome.results)
 
@@ -395,11 +508,13 @@ class GraphSession:
         rewrite: bool = True,
         options: RewriteOptions | None = None,
         backend_options: Mapping | None = None,
+        planner: str | None = None,
     ) -> str:
         """Render the plan the backend would execute for this query."""
         prepared = self.prepare(
             query, backend,
             rewrite=rewrite, options=options, backend_options=backend_options,
+            planner=planner,
         )
         return prepared.explain()
 
@@ -429,6 +544,69 @@ class GraphSession:
             self.store.version,
             backend_options,
         )
+
+    # -- adaptive planner feedback -----------------------------------------
+    def _observe_execution(
+        self,
+        prepared: PreparedQuery,
+        actual_rows: int,
+        stats: "ExecutionStats | None" = None,
+    ) -> None:
+        """Close the planning loop after one cost-planned execution.
+
+        Actual cardinalities flow into the per-store
+        :class:`~repro.ra.stats.StoreStatistics` correction table —
+        observed fixpoint growth corrects the closure-growth assumption,
+        and the root estimated/actual pair is recorded per plan. When
+        the error factor exceeds :attr:`replan_error_threshold`, the
+        plan-cache entry is evicted so the next ``prepare`` re-plans
+        against the corrected statistics.
+
+        Eviction is bounded: when the *previous* recorded feedback for
+        this plan already exceeded the threshold, re-planning has been
+        tried and the available corrections did not change the estimate
+        enough — the plan is kept and only the feedback updated, so a
+        persistently misestimated plan costs one re-plan per store
+        snapshot, not one per execution.
+        """
+        choice = prepared.choice
+        if choice is None:
+            return
+        store_stats = store_statistics(self.store)
+        self._planner_observations += 1
+        if stats is not None:
+            growth = stats.observed_fixpoint_growth
+            if growth is not None:
+                store_stats.observe_fixpoint_growth(growth)
+        # Per-backend token: the same query may be planned to different
+        # candidates (and estimates) on different backends.
+        token = f"{prepared.backend.name}:{prepared.query}"
+        previous = store_stats.feedback.get(token)
+        error = store_stats.record_plan_feedback(
+            token, choice.winner.rows, actual_rows
+        )
+        already_replanned = (
+            previous is not None and previous[2] > self.replan_error_threshold
+        )
+        if (
+            error > self.replan_error_threshold
+            and not already_replanned
+            and prepared.plan_key is not None
+        ):
+            if self._plan_cache.evict(prepared.plan_key):
+                self._planner_replans += 1
+
+    @property
+    def planner_stats(self) -> dict:
+        """Counters of the adaptive planning loop (cost planner only)."""
+        store_stats = store_statistics(self.store)
+        return {
+            "mode": self.planner,
+            "observations": self._planner_observations,
+            "replans": self._planner_replans,
+            "observed_fixpoint_growth": store_stats.observed_fixpoint_growth,
+            "feedback_entries": len(store_stats.feedback),
+        }
 
     # -- introspection -----------------------------------------------------
     @property

@@ -67,6 +67,13 @@ class ExecutionStats:
     fan-outs of a parallel run (zero on sequential or GIL-bound runs);
     ``result_cache_hits``/``result_cache_misses`` count whole queries the
     serving layer answered from (or had to add to) the result-set cache.
+
+    The ``*_rows`` counters are **actual cardinalities** per operator
+    kind, counted as each operator materialises its output — the
+    feedback signal of the adaptive cost planner (fixpoint total vs base
+    rows corrects the growth assumption). ``estimated_rows`` /
+    ``actual_rows`` carry the planner's root-level estimate next to the
+    observed result size; :attr:`cardinality_error` is their ratio.
     """
 
     programs: int = 0
@@ -76,6 +83,34 @@ class ExecutionStats:
     morsels_dispatched: int = 0
     result_cache_hits: int = 0
     result_cache_misses: int = 0
+    scan_rows: int = 0
+    join_rows: int = 0
+    union_rows: int = 0
+    fixpoint_base_rows: int = 0
+    fixpoint_rows: int = 0
+    estimated_rows: float = 0.0
+    actual_rows: int = 0
+
+    @property
+    def cardinality_error(self) -> float:
+        """Estimated-vs-actual root cardinality error factor.
+
+        ``max(estimated, actual) / min(estimated, actual)`` with both
+        sides floored at one row; 0.0 when no estimate was recorded
+        (greedy executions do not carry one).
+        """
+        if self.estimated_rows <= 0.0:
+            return 0.0
+        estimated = max(self.estimated_rows, 1.0)
+        actual = max(float(self.actual_rows), 1.0)
+        return max(estimated, actual) / min(estimated, actual)
+
+    @property
+    def observed_fixpoint_growth(self) -> float | None:
+        """Actual total/base row ratio over every fixpoint evaluated."""
+        if self.fixpoint_base_rows <= 0:
+            return None
+        return self.fixpoint_rows / self.fixpoint_base_rows
 
     def merge(self, other: "ExecutionStats") -> None:
         # Total over every counter field: a counter added to this class
@@ -96,6 +131,7 @@ def execute_program(
     kernel=None,
     parallelism: int | None = None,
     morsel_size: int | None = None,
+    stats: ExecutionStats | None = None,
 ) -> frozenset[tuple]:
     """Run ``program`` on ``store``; returns decoded, head-ordered rows."""
     return execute_batch_programs(
@@ -106,6 +142,7 @@ def execute_program(
         kernel=kernel,
         parallelism=parallelism,
         morsel_size=morsel_size,
+        stats=stats,
     )[0]
 
 
@@ -202,7 +239,18 @@ class _Runner:
                 return hit
         result = self._eval_uncached(op, env)
         self.stats.ops_evaluated += 1
-        self.budget.tick(self.kernel.nrows(result))
+        rows = self.kernel.nrows(result)
+        # Actual cardinalities per operator kind: the feedback the
+        # adaptive planner compares against its estimates.
+        if isinstance(op, ScanOp):
+            self.stats.scan_rows += rows
+        elif isinstance(op, JoinOp):
+            self.stats.join_rows += rows
+        elif isinstance(op, UnionOp):
+            self.stats.union_rows += rows
+        elif isinstance(op, FixOp):
+            self.stats.fixpoint_rows += rows
+        self.budget.tick(rows)
         if op.closed:
             self._memo[id(op)] = result
         return result
@@ -266,6 +314,7 @@ class _Runner:
     def _eval_fixpoint(self, op: FixOp, env: dict):
         kernel = self.kernel
         base = self._eval(op.base, env)
+        self.stats.fixpoint_base_rows += kernel.nrows(base)
         state = kernel.empty_state()
         delta, state = kernel.difference(base, state, self.domain)
         total = delta

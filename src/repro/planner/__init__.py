@@ -1,0 +1,69 @@
+"""Cost-based planning across the rewrite → µ-RA → backend pipeline.
+
+The linear pipeline (rewrite, translate, optimise greedily, compile)
+commits to one plan per stage. This package turns each stage into a
+*candidate generator* and picks the cheapest end-to-end plan under a
+per-backend physical cost model:
+
+* :mod:`repro.planner.candidates` — enumerate semantically equivalent
+  plans (original query, full and per-relation partial schema rewrites,
+  bounded alternative join orders) and rank them,
+* :mod:`repro.planner.cost` — estimated rows × per-backend operator
+  weights, so ``vec``, ``ra`` and ``sqlite`` cost the same logical plan
+  differently.
+
+Sessions opt in with ``GraphSession(..., planner="cost")`` or per call
+(``session.execute(query, planner="cost")``); execution feeds actual
+cardinalities back into the per-store
+:class:`~repro.ra.stats.StoreStatistics` correction table, and plans
+whose estimates drift past the session's re-plan threshold are planned
+again against the corrected statistics.
+"""
+
+from repro.planner.candidates import (
+    DEFAULT_JOIN_ORDERS,
+    DEFAULT_MAX_PARTIAL,
+    PlanCandidate,
+    PlanChoice,
+    RankedCandidate,
+    enumerate_plan_candidates,
+    plan_query,
+    rank_candidates,
+)
+from repro.planner.cost import (
+    PROFILES,
+    CostProfile,
+    TermCost,
+    cost_profile,
+    cost_term,
+)
+
+#: The planner modes a session accepts.
+PLANNER_MODES = ("greedy", "cost")
+
+
+def validate_planner(mode: str) -> str:
+    if mode not in PLANNER_MODES:
+        raise ValueError(
+            f"unknown planner {mode!r}; expected one of {PLANNER_MODES}"
+        )
+    return mode
+
+
+__all__ = [
+    "PLANNER_MODES",
+    "validate_planner",
+    "PlanCandidate",
+    "PlanChoice",
+    "RankedCandidate",
+    "enumerate_plan_candidates",
+    "plan_query",
+    "rank_candidates",
+    "CostProfile",
+    "TermCost",
+    "PROFILES",
+    "cost_profile",
+    "cost_term",
+    "DEFAULT_MAX_PARTIAL",
+    "DEFAULT_JOIN_ORDERS",
+]

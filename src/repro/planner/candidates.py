@@ -1,0 +1,227 @@
+"""Plan-candidate enumeration and cost-based selection.
+
+The unit the planner ranks is a :class:`PlanCandidate`: one semantically
+equivalent way of answering a query. Candidates come from three sources,
+all guaranteed equivalent to the original query:
+
+* the **original** query, untouched (the rewriter's revert path, now a
+  first-class candidate instead of a boolean),
+* the **schema rewrites** — the full rewrite plus the per-relation
+  partial rewrites :func:`repro.core.rewriter.enumerate_rewrites` emits
+  (soundness of each follows from soundness of the relation rewriting
+  itself, paper §3),
+* alternative **join orders** of each rewrite's µ-RA translation, from
+  the optimizer's bounded enumeration (pure RA equivalences).
+
+``enumerate_plan_candidates`` produces them; ``rank_candidates`` costs
+each against one backend's :class:`~repro.planner.cost.CostProfile` and
+returns a :class:`PlanChoice` with the winner marked. Sessions execute
+the winner; ``explain`` renders the ranked table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.rewriter import (
+    RewriteOptions,
+    RewriteResult,
+    enumerate_rewrites,
+)
+from repro.errors import ReproError
+from repro.planner.cost import CostProfile, cost_profile, cost_term
+from repro.query.model import UCQT, drop_unsatisfiable_disjuncts
+from repro.ra.optimizer import optimize_term_candidates
+from repro.ra.stats import Estimator
+from repro.ra.translate import TranslationContext, ucqt_to_ra
+from repro.schema.model import GraphSchema
+from repro.storage.relational import RelationalStore
+from repro.ra.terms import RaTerm
+
+#: Bounded enumeration knobs: partial-rewrite sites and join orders per
+#: rewrite. Small on purpose — the planner must stay cheap relative to
+#: execution, and the candidates are ranked, not exhaustively searched.
+DEFAULT_MAX_PARTIAL = 4
+DEFAULT_JOIN_ORDERS = 3
+
+
+@dataclass(frozen=True)
+class PlanCandidate:
+    """One executable way of answering the query."""
+
+    label: str                 # "original", "rewritten", "partial[0.1]#2", ...
+    source: str                # "original" | "rewritten" | "partial"
+    query: UCQT                # normalised query (unsatisfiable disjuncts dropped)
+    term: RaTerm | None        # optimised µ-RA term; None = provably empty
+    rewrite_result: RewriteResult | None
+
+
+@dataclass(frozen=True)
+class RankedCandidate:
+    """A candidate with its estimated cost under one backend profile."""
+
+    candidate: PlanCandidate
+    cost: float
+    rows: float
+    chosen: bool = False
+
+    @property
+    def label(self) -> str:
+        return self.candidate.label
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """The ranked candidate table for one (query, backend) planning run."""
+
+    backend: str
+    ranked: tuple[RankedCandidate, ...]
+
+    @property
+    def winner(self) -> RankedCandidate:
+        for entry in self.ranked:
+            if entry.chosen:
+                return entry
+        return self.ranked[0]
+
+    def render(self) -> str:
+        """The EXPLAIN candidate table (``* `` marks the winner)."""
+        lines = [
+            f"-- planner candidates (cost model: {self.backend}) --",
+            f"   {'rank':<5} {'candidate':<22} {'est. cost':>14} {'est. rows':>12}",
+        ]
+        for rank, entry in enumerate(self.ranked, start=1):
+            marker = " * " if entry.chosen else "   "
+            lines.append(
+                f"{marker}{rank:<5} {entry.label:<22} "
+                f"{entry.cost:>14,.1f} {int(entry.rows):>12,}"
+            )
+        return "\n".join(lines)
+
+
+def enumerate_plan_candidates(
+    query: UCQT,
+    schema: GraphSchema,
+    store: RelationalStore,
+    *,
+    rewrite: bool = True,
+    options: RewriteOptions | None = None,
+    estimator: Estimator | None = None,
+    max_partial: int = DEFAULT_MAX_PARTIAL,
+    join_orders: int = DEFAULT_JOIN_ORDERS,
+) -> list[PlanCandidate]:
+    """All candidates for ``query``: rewrites × bounded join orders.
+
+    Candidates whose µ-RA translation fails are dropped (the original
+    query is translated first, so at least one candidate survives for
+    any query the ``ra`` backend could run; a query *no* candidate can
+    translate re-raises the original's error).
+    """
+    estimator = estimator or Estimator(store)
+    sources: list[tuple[str, str, UCQT, RewriteResult | None]] = [
+        ("original", "original", query, None)
+    ]
+    if rewrite:
+        for label, result in enumerate_rewrites(
+            query, schema, options, max_partial=max_partial
+        ):
+            source = "rewritten" if label == "rewritten" else "partial"
+            sources.append((label, source, result.query, result))
+
+    candidates: list[PlanCandidate] = []
+    seen_terms: set[RaTerm] = set()
+    first_error: ReproError | None = None
+    for label, source, variant, rewrite_result in sources:
+        executed = drop_unsatisfiable_disjuncts(variant)
+        if executed.is_empty:
+            candidates.append(
+                PlanCandidate(label, source, executed, None, rewrite_result)
+            )
+            continue
+        try:
+            term = ucqt_to_ra(executed, TranslationContext())
+            orders = optimize_term_candidates(
+                term, store, limit=join_orders, estimator=estimator
+            )
+        except ReproError as error:
+            first_error = first_error or error
+            continue
+        for index, ordered in enumerate(orders):
+            if ordered in seen_terms:
+                continue
+            seen_terms.add(ordered)
+            suffix = "" if index == 0 else f"#{index + 1}"
+            candidates.append(
+                PlanCandidate(
+                    f"{label}{suffix}", source, executed, ordered, rewrite_result
+                )
+            )
+    if not candidates:
+        assert first_error is not None
+        raise first_error
+    return candidates
+
+
+def rank_candidates(
+    candidates: list[PlanCandidate],
+    store: RelationalStore,
+    backend: str,
+    estimator: Estimator | None = None,
+    profile: CostProfile | None = None,
+) -> PlanChoice:
+    """Cost every candidate under ``backend``'s profile; mark the winner.
+
+    Ties (and the provably-empty plan, which costs nothing) resolve to
+    the earliest-enumerated candidate, so selection is deterministic and
+    prefers simpler provenance (original before rewritten before
+    partial) at equal cost.
+    """
+    profile = profile or cost_profile(backend)
+    estimator = estimator or Estimator(store)
+    costed: list[tuple[float, float, int, PlanCandidate]] = []
+    for index, candidate in enumerate(candidates):
+        if candidate.term is None:
+            costed.append((0.0, 0.0, index, candidate))
+        else:
+            cost = cost_term(candidate.term, store, profile, estimator)
+            costed.append((cost.total, cost.rows, index, candidate))
+    best_index = min(costed, key=lambda entry: (entry[0], entry[2]))[2]
+    ranked = tuple(
+        RankedCandidate(
+            candidate=candidate,
+            cost=total,
+            rows=rows,
+            chosen=index == best_index,
+        )
+        for total, rows, index, candidate in sorted(
+            costed, key=lambda entry: (entry[0], entry[2])
+        )
+    )
+    return PlanChoice(backend=backend, ranked=ranked)
+
+
+def plan_query(
+    query: UCQT,
+    schema: GraphSchema,
+    store: RelationalStore,
+    backend: str,
+    *,
+    rewrite: bool = True,
+    options: RewriteOptions | None = None,
+    fixpoint_growth: float | None = None,
+    max_partial: int = DEFAULT_MAX_PARTIAL,
+    join_orders: int = DEFAULT_JOIN_ORDERS,
+) -> PlanChoice:
+    """Enumerate, cost and rank every candidate plan for one query."""
+    estimator = Estimator(store, fixpoint_growth=fixpoint_growth)
+    candidates = enumerate_plan_candidates(
+        query,
+        schema,
+        store,
+        rewrite=rewrite,
+        options=options,
+        estimator=estimator,
+        max_partial=max_partial,
+        join_orders=join_orders,
+    )
+    return rank_candidates(candidates, store, backend, estimator=estimator)

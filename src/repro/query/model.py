@@ -138,6 +138,26 @@ class UCQT:
         return " || ".join(str(cqt) for cqt in self.disjuncts)
 
 
+def drop_unsatisfiable_disjuncts(query: UCQT) -> UCQT:
+    """Remove disjuncts whose label atoms intersect to the empty set.
+
+    The schema rewriter *appends* its inferred label atoms to any
+    user-written ones, so a disjunct can end up demanding disjoint label
+    sets for one variable — satisfiable by no node. The graph-side
+    engines evaluate such disjuncts to nothing, but the relational
+    translators reject an empty node-set semi-join; normalising here
+    keeps every backend on identical (and minimal) input.
+    """
+    keep = tuple(
+        cqt
+        for cqt in query.disjuncts
+        if all(cqt.labels_for(var) != frozenset() for var in cqt.variables())
+    )
+    if len(keep) == len(query.disjuncts):
+        return query
+    return UCQT(query.head, keep)
+
+
 def single_relation_query(
     expr: PathExpr, source: str = "x1", target: str = "x2"
 ) -> UCQT:

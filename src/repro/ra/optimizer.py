@@ -33,14 +33,21 @@ from repro.ra.terms import (
 from repro.storage.relational import RelationalStore
 
 
-def optimize_term(term: RaTerm, store: RelationalStore) -> RaTerm:
+def optimize_term(
+    term: RaTerm,
+    store: RelationalStore,
+    estimator: Estimator | None = None,
+) -> RaTerm:
     """Apply local rewrites bottom-up, then reorder join chains.
 
     The optimised term exposes the same columns in the same order as the
     input term (rewrites may shuffle column positions internally; a final
-    projection restores the contract when needed).
+    projection restores the contract when needed). ``estimator`` lets
+    the caller pin cardinality assumptions (e.g. a validated
+    ``fixpoint_growth``); by default a fresh store-corrected estimator
+    drives the join ordering.
     """
-    estimator = Estimator(store)
+    estimator = estimator or Estimator(store)
     rewritten = _rewrite_memo(term, store, {})
     memo: dict[int, tuple[RaTerm, RaTerm]] = {}
     result = _reorder_memo(rewritten, store, estimator, memo)
@@ -48,6 +55,37 @@ def optimize_term(term: RaTerm, store: RelationalStore) -> RaTerm:
     if result.columns(store) != original_columns:
         result = Project(result, original_columns)
     return result
+
+
+def optimize_term_candidates(
+    term: RaTerm,
+    store: RelationalStore,
+    limit: int = 3,
+    estimator: Estimator | None = None,
+) -> list[RaTerm]:
+    """Bounded enumeration of alternative optimised terms.
+
+    The greedy join ordering commits to *one* order: start from the
+    smallest part, grow by cheapest estimated join. This enumerates up
+    to ``limit`` complete orders by seeding the greedy loop from the
+    k-th smallest part instead (k = 0..limit-1) in every join chain,
+    then deduplicates — the cost-based planner ranks the survivors
+    instead of trusting the k=0 prefix. The first candidate is always
+    the plain greedy result, so callers can treat it as the baseline.
+    """
+    estimator = estimator or Estimator(store)
+    rewritten = _rewrite_memo(term, store, {})
+    original_columns = term.columns(store)
+    seen: set[RaTerm] = set()
+    candidates: list[RaTerm] = []
+    for start_rank in range(max(1, limit)):
+        result = _reorder_memo(rewritten, store, estimator, {}, start_rank)
+        if result.columns(store) != original_columns:
+            result = Project(result, original_columns)
+        if result not in seen:
+            seen.add(result)
+            candidates.append(result)
+    return candidates
 
 
 def _rewrite_memo(
@@ -75,11 +113,12 @@ def _reorder_memo(
     store: RelationalStore,
     estimator: Estimator,
     memo: dict[int, tuple[RaTerm, RaTerm]],
+    start_rank: int = 0,
 ) -> RaTerm:
     hit = memo.get(id(term))
     if hit is not None and hit[0] is term:
         return hit[1]
-    result = _reorder_joins(term, store, estimator, memo)
+    result = _reorder_joins(term, store, estimator, memo, start_rank)
     memo[id(term)] = (term, result)
     return result
 
@@ -159,19 +198,25 @@ def _reorder_joins(
     store: RelationalStore,
     estimator: Estimator,
     memo: dict[int, tuple[RaTerm, RaTerm]],
+    start_rank: int = 0,
 ) -> RaTerm:
     if isinstance(term, Join):
-        parts = [_reorder_memo(p, store, estimator, memo) for p in _flatten_join(term)]
+        parts = [
+            _reorder_memo(p, store, estimator, memo, start_rank)
+            for p in _flatten_join(term)
+        ]
         if len(parts) <= 2:
             return Join(parts[0], parts[1]) if len(parts) == 2 else parts[0]
         # Greedy left-deep join ordering by estimated *result* size: start
         # from the smallest base, then repeatedly pick the connected part
         # whose join with the running prefix is estimated cheapest (this is
         # what makes semi-joins against node tables fire early — the
-        # Fig. 17 plan shape).
+        # Fig. 17 plan shape). ``start_rank`` seeds the loop from the
+        # k-th smallest part instead (bounded enumeration for the
+        # cost-based planner; 0 = plain greedy).
         remaining = list(parts)
         remaining.sort(key=estimator.rows)
-        current = remaining.pop(0)
+        current = remaining.pop(min(start_rank, len(remaining) - 1))
         current_columns = set(current.columns(store))
         while remaining:
             connected = [
@@ -189,24 +234,30 @@ def _reorder_joins(
     if not children:
         return term
     if isinstance(term, Project):
-        return Project(_reorder_memo(term.child, store, estimator, memo), term.keep)
+        return Project(
+            _reorder_memo(term.child, store, estimator, memo, start_rank),
+            term.keep,
+        )
     if isinstance(term, Rename):
-        return Rename(_reorder_memo(term.child, store, estimator, memo), term.mapping)
+        return Rename(
+            _reorder_memo(term.child, store, estimator, memo, start_rank),
+            term.mapping,
+        )
     if isinstance(term, SelectEq):
         return SelectEq(
-            _reorder_memo(term.child, store, estimator, memo),
+            _reorder_memo(term.child, store, estimator, memo, start_rank),
             term.column_a,
             term.column_b,
         )
     if isinstance(term, RaUnion):
         return RaUnion(
-            _reorder_memo(term.left, store, estimator, memo),
-            _reorder_memo(term.right, store, estimator, memo),
+            _reorder_memo(term.left, store, estimator, memo, start_rank),
+            _reorder_memo(term.right, store, estimator, memo, start_rank),
         )
     if isinstance(term, Fix):
         return Fix(
             term.var,
-            _reorder_memo(term.base, store, estimator, memo),
-            _reorder_memo(term.step, store, estimator, memo),
+            _reorder_memo(term.base, store, estimator, memo, start_rank),
+            _reorder_memo(term.step, store, estimator, memo, start_rank),
         )
     return term

@@ -8,8 +8,11 @@ drive the optimizer's join ordering and the Fig. 17 EXPLAIN costs.
 
 from __future__ import annotations
 
+import math
+import os
 import weakref
 from dataclasses import dataclass
+from typing import Hashable
 from weakref import WeakKeyDictionary
 
 from repro.ra.terms import (
@@ -27,8 +30,51 @@ from repro.storage.relational import RelationalStore
 
 #: Assumed growth of a transitive closure over its base relation. Real
 #: engines estimate recursive CTEs crudely too (PostgreSQL assumes 10x the
-#: non-recursive term); 4x keeps plans sensible at our scales.
+#: non-recursive term); 4x keeps plans sensible at our scales. The
+#: effective value is configurable per process (``REPRO_FIXPOINT_GROWTH``),
+#: per plan (the ``fixpoint_growth`` backend option) and adaptively (the
+#: per-store correction table fed by observed fixpoint cardinalities).
 FIXPOINT_GROWTH = 4.0
+
+_ENV_FIXPOINT_GROWTH = "REPRO_FIXPOINT_GROWTH"
+
+#: Observed fixpoint growth ratios are clamped into this band before they
+#: enter the correction table: a closure is at least its base, and a
+#: single pathological query must not poison every later estimate.
+_GROWTH_OBSERVATION_BAND = (1.0, 64.0)
+_MAX_OBSERVATIONS = 64
+_MAX_FEEDBACK_ENTRIES = 256
+
+
+def validate_fixpoint_growth(value) -> float:
+    """Validate a fixpoint-growth setting; returns it as a float.
+
+    Accepts any finite number >= 1 (a transitive closure contains its
+    base relation, so growth below 1 is meaningless).
+    """
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"fixpoint growth must be a number, got {value!r}"
+        ) from None
+    if not math.isfinite(number) or number < 1.0:
+        raise ValueError(
+            f"fixpoint growth must be a finite number >= 1, got {value!r}"
+        )
+    return number
+
+
+def default_fixpoint_growth() -> float:
+    """The process-wide fixpoint growth: ``$REPRO_FIXPOINT_GROWTH`` when
+    set (validated), else :data:`FIXPOINT_GROWTH`."""
+    raw = os.environ.get(_ENV_FIXPOINT_GROWTH)
+    if raw is None:
+        return FIXPOINT_GROWTH
+    try:
+        return validate_fixpoint_growth(raw)
+    except ValueError as error:
+        raise ValueError(f"${_ENV_FIXPOINT_GROWTH}: {error}") from None
 
 
 class StoreStatistics:
@@ -39,6 +85,14 @@ class StoreStatistics:
     ``optimize_term``), so the scans are cached here per
     ``(store, store.version)`` snapshot. ``add_table``/``add_alias`` bump
     the version, which retires the snapshot on the next lookup.
+
+    The snapshot doubles as the planner's **correction table**: sessions
+    feed actual cardinalities observed during execution back in
+    (:meth:`observe_fixpoint_growth`, :meth:`record_plan_feedback`), and
+    later estimates consult the corrections
+    (:attr:`observed_fixpoint_growth`). Because corrections live on the
+    snapshot, any store mutation retires them together with the row and
+    NDV counts they were observed under.
     """
 
     def __init__(self, store: RelationalStore):
@@ -48,6 +102,10 @@ class StoreStatistics:
         self.version = store.version
         self._rows: dict[str, int] = {}
         self._ndv: dict[tuple[str, str], int] = {}
+        self._growth_observations: list[float] = []
+        #: token -> (estimated rows, actual rows, error factor); the
+        #: latest execution feedback per plan, bounded FIFO.
+        self._feedback: dict[Hashable, tuple[float, float, float]] = {}
 
     def _table(self, name: str):
         store = self._store_ref()
@@ -69,6 +127,51 @@ class StoreStatistics:
             cached = self._table(name).distinct_count(column)
             self._ndv[key] = cached
         return cached
+
+    # -- the adaptive correction table ------------------------------------
+    def observe_fixpoint_growth(self, ratio: float) -> None:
+        """Record one actual total/base cardinality ratio of a fixpoint."""
+        low, high = _GROWTH_OBSERVATION_BAND
+        ratio = min(max(float(ratio), low), high)
+        self._growth_observations.append(ratio)
+        if len(self._growth_observations) > _MAX_OBSERVATIONS:
+            del self._growth_observations[0]
+
+    @property
+    def observed_fixpoint_growth(self) -> float | None:
+        """Geometric mean of the observed growth ratios (None: no data).
+
+        The geometric mean is the right average for a multiplicative
+        quantity — one 16x and one 1x observation should correct towards
+        4x, not 8.5x.
+        """
+        if not self._growth_observations:
+            return None
+        log_sum = sum(math.log(r) for r in self._growth_observations)
+        return math.exp(log_sum / len(self._growth_observations))
+
+    def record_plan_feedback(
+        self, token: Hashable, estimated: float, actual: float
+    ) -> float:
+        """Record one estimated-vs-actual root cardinality pair.
+
+        Returns the *error factor* ``max(e, a) / min(e, a)`` (>= 1.0,
+        with both sides floored at one row so empty results do not
+        divide by zero). The caller decides whether the error warrants
+        re-planning.
+        """
+        est = max(float(estimated), 1.0)
+        act = max(float(actual), 1.0)
+        error = max(est, act) / min(est, act)
+        self._feedback[token] = (estimated, actual, error)
+        if len(self._feedback) > _MAX_FEEDBACK_ENTRIES:
+            self._feedback.pop(next(iter(self._feedback)))
+        return error
+
+    @property
+    def feedback(self) -> dict[Hashable, tuple[float, float, float]]:
+        """The recorded (estimated, actual, error) triples per plan token."""
+        return dict(self._feedback)
 
 
 _STATISTICS: "WeakKeyDictionary[RelationalStore, StoreStatistics]" = (
@@ -99,7 +202,19 @@ class Estimate:
         return max(self.rows, 1.0)
 
     def with_rows(self, rows: float) -> "Estimate":
-        scale = rows / self.rows if self.rows else 0.0
+        if rows <= 0.0:
+            # No rows, no distinct values — do not clamp to 1.
+            return Estimate(0.0, tuple((name, 0.0) for name, _ in self.distinct))
+        if self.rows <= 0.0:
+            # No base cardinality to derive a scale factor from: keep
+            # each known distinct count, bounded by the new row count
+            # (unknown/zero counts default to the row count itself).
+            clipped = tuple(
+                (name, max(1.0, min(value, rows)) if value > 0 else rows)
+                for name, value in self.distinct
+            )
+            return Estimate(rows, clipped)
+        scale = rows / self.rows
         clipped = tuple(
             (name, max(1.0, min(value, value * scale if scale < 1 else value, rows)))
             for name, value in self.distinct
@@ -108,10 +223,30 @@ class Estimate:
 
 
 class Estimator:
-    """Estimates cardinalities for RA terms against a store."""
+    """Estimates cardinalities for RA terms against a store.
 
-    def __init__(self, store: RelationalStore):
+    ``fixpoint_growth`` pins the assumed closure growth for this
+    estimator (the validated ``fixpoint_growth`` backend/planner
+    option). When left ``None`` the estimator starts from the process
+    default (``$REPRO_FIXPOINT_GROWTH`` or :data:`FIXPOINT_GROWTH`) and
+    applies the store's adaptive correction: once executions have fed
+    actual fixpoint cardinalities back into the
+    :class:`StoreStatistics` snapshot, the observed geometric-mean
+    growth replaces the guess.
+    """
+
+    def __init__(
+        self, store: RelationalStore, fixpoint_growth: float | None = None
+    ):
         self.store = store
+        if fixpoint_growth is not None:
+            fixpoint_growth = validate_fixpoint_growth(fixpoint_growth)
+        else:
+            fixpoint_growth = default_fixpoint_growth()
+            observed = store_statistics(store).observed_fixpoint_growth
+            if observed is not None:
+                fixpoint_growth = observed
+        self.fixpoint_growth = fixpoint_growth
         self._cache: dict[RaTerm, Estimate] = {}
 
     def estimate(self, term: RaTerm) -> Estimate:
@@ -175,7 +310,7 @@ class Estimator:
             return Estimate(rows, distinct)
         if isinstance(term, Fix):
             base = self.estimate(term.base)
-            rows = base.rows * FIXPOINT_GROWTH
+            rows = base.rows * self.fixpoint_growth
             distinct = tuple(
                 (name, min(rows, value * 2.0)) for name, value in base.distinct
             )

@@ -40,6 +40,7 @@ from repro.exec.parallel import default_parallelism
 from repro.graph.evaluator import EvalBudget
 from repro.query.model import UCQT
 from repro.query.parser import parse_query
+from repro.ra.stats import store_statistics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.rewriter import RewriteOptions
@@ -84,13 +85,18 @@ def execute_batch(
     rewrite: bool = True,
     options: "RewriteOptions | None" = None,
     backend_options: Mapping | None = None,
+    planner: str | None = None,
 ) -> BatchOutcome:
     """Prepare and execute ``queries`` as one batch on ``backend``.
 
     ``timeout_seconds`` bounds the *whole batch* (one shared budget on
     ``vec``, per distinct plan elsewhere). Results are returned in input
     order; submitting the same query twice returns the same row set
-    twice at the cost of one execution.
+    twice at the cost of one execution. ``planner="cost"`` plans every
+    distinct query through the shared cost model (the per-store
+    statistics snapshot and its adaptive corrections are shared across
+    the whole batch), and the batch's :class:`ExecutionStats` then carry
+    the summed estimated-vs-actual root cardinalities.
     """
     parsed = [
         parse_query(query) if isinstance(query, str) else query
@@ -110,6 +116,7 @@ def execute_batch(
                 rewrite=rewrite,
                 options=options,
                 backend_options=backend_options,
+                planner=planner,
             )
     if backend == "vec":
         rows_by_key, stats = _execute_vec_shared(
@@ -144,7 +151,7 @@ def _execute_vec_shared(
     store unchanged) never reach the runner; only the misses execute,
     then back-fill the cache for the next batch.
     """
-    runnable: list[tuple[str, VecPlan, tuple | None]] = []
+    runnable: list[tuple[str, "PreparedQuery", VecPlan, tuple | None]] = []
     rows_by_key: dict[str, frozenset[tuple]] = {}
     kernel = None
     parallelism: int | None = None
@@ -175,24 +182,41 @@ def _execute_vec_shared(
             parallelism = plan.parallelism
         if plan.morsel_size is not None:
             morsel_size = plan.morsel_size
-        runnable.append((key, plan, cache_key))
+        runnable.append((key, handle, plan, cache_key))
     if parallelism is None:
         # No plan pinned a worker count: honour the environment default
         # (the CI matrix leg that runs everything morsel-parallel).
         parallelism = default_parallelism()
     if runnable:
         results = execute_batch_programs(
-            [plan.program for _, plan, _ in runnable],
+            [plan.program for _, _, plan, _ in runnable],
             session.store,
-            heads=[plan.head for _, plan, _ in runnable],
+            heads=[plan.head for _, _, plan, _ in runnable],
             budget=EvalBudget(timeout_seconds),
             kernel=kernel,
             stats=stats,
             parallelism=parallelism,
             morsel_size=morsel_size,
         )
-        for (key, _, cache_key), rows in zip(runnable, results):
+        cost_planned = False
+        for (key, handle, _, cache_key), rows in zip(runnable, results):
             rows_by_key[key] = rows
             if cache_key is not None:
                 session._result_cache.put(cache_key, rows)
+            if handle.choice is not None:
+                # Cost-planned batches close the adaptive loop per plan
+                # and surface summed estimated-vs-actual cardinalities.
+                cost_planned = True
+                stats.estimated_rows += handle.choice.winner.rows
+                stats.actual_rows += len(rows)
+                session._observe_execution(handle, len(rows))
+        if cost_planned:
+            # The shared runner's fixpoint counters span the whole batch,
+            # so the growth observation cannot be attributed per plan —
+            # feed the pooled ratio into the correction table once.
+            growth = stats.observed_fixpoint_growth
+            if growth is not None:
+                store_statistics(session.store).observe_fixpoint_growth(
+                    growth
+                )
     return rows_by_key, stats

@@ -95,6 +95,7 @@ class QueryService:
         timeout_seconds: float | None = None,
         rewrite: bool = True,
         backend_options: Mapping | None = None,
+        planner: str | None = None,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -110,6 +111,10 @@ class QueryService:
         self.timeout_seconds = timeout_seconds
         self.rewrite = rewrite
         self.backend_options = backend_options
+        #: Planning mode for every batch (None: the session's default);
+        #: "cost" routes all admission batches through the shared cost
+        #: model and its adaptive corrections.
+        self.planner = planner
         self.stats = ServiceStats()
         # Pending requests, grouped by the schema fingerprint they were
         # submitted under; OrderedDict keeps fingerprint arrival order so
@@ -244,6 +249,7 @@ class QueryService:
                     timeout_seconds=self.timeout_seconds,
                     rewrite=self.rewrite,
                     backend_options=self.backend_options,
+                    planner=self.planner,
                 )
 
         if self.backend in _THREAD_SAFE_BACKENDS:

@@ -1,0 +1,346 @@
+"""Tests for the cost-based planner: candidate enumeration, the
+per-backend cost model, session integration (selection, explain,
+caching, adaptive feedback) and the CLI surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rewriter import enumerate_rewrites
+from repro.engine import GraphSession
+from repro.exec.executor import ExecutionStats
+from repro.graph.model import yago_example_graph
+from repro.planner import (
+    cost_profile,
+    cost_term,
+    enumerate_plan_candidates,
+    plan_query,
+    rank_candidates,
+    validate_planner,
+)
+from repro.query.parser import parse_query
+from repro.ra.optimizer import optimize_term_candidates
+from repro.ra.translate import TranslationContext, ucqt_to_ra
+from repro.schema.builder import yago_example_schema
+
+RECURSIVE_QUERY = "x1, x2 <- (x1, livesIn/isLocatedIn+, x2)"
+# Both closures are independently enrichable, so the planner sees true
+# partial rewrites (apply the schema to one site, keep the other).
+TWO_RELATION_QUERY = (
+    "x1, x3 <- (x1, isLocatedIn+, x2) && (x2, isLocatedIn+, x3)"
+)
+
+
+@pytest.fixture(scope="module")
+def example_session():
+    with GraphSession(
+        yago_example_graph(), yago_example_schema(), planner="cost"
+    ) as session:
+        yield session
+
+
+# -- candidate enumeration ---------------------------------------------------
+class TestCandidates:
+    def test_enumerate_rewrites_full_and_partial(self, example_session):
+        query = parse_query(TWO_RELATION_QUERY)
+        labelled = enumerate_rewrites(
+            query, example_session.schema, example_session.rewrite_options
+        )
+        labels = [label for label, _ in labelled]
+        assert labels[0] == "rewritten"
+        assert any(label.startswith("partial[") for label in labels)
+        # Partial rewrites must differ from both endpoints of the
+        # all-or-nothing spectrum.
+        texts = {str(result.query) for _, result in labelled}
+        assert str(query) not in texts
+        assert len(texts) == len(labelled)
+
+    def test_single_relation_has_no_partials(self, example_session):
+        query = parse_query(RECURSIVE_QUERY)
+        labelled = enumerate_rewrites(query, example_session.schema)
+        assert [label for label, _ in labelled] == ["rewritten"]
+
+    def test_partials_survive_full_rewrite_revert(self, example_session):
+        """The motivating case: the full rewrite trips the blow-up
+        guard (product of both relations' alternatives) and reverts,
+        but a single-site rewrite fits under the cap — the partials
+        must still be enumerated."""
+        from repro.core.rewriter import RewriteOptions, rewrite_query
+
+        query = parse_query(TWO_RELATION_QUERY)
+        options = RewriteOptions(max_disjuncts=3)
+        assert rewrite_query(query, example_session.schema, options).reverted
+        labelled = enumerate_rewrites(
+            query, example_session.schema, options
+        )
+        labels = [label for label, _ in labelled]
+        assert "rewritten" not in labels
+        assert labels and all(l.startswith("partial[") for l in labels)
+        for _, result in labelled:
+            assert len(result.query.disjuncts) <= options.max_disjuncts
+
+    def test_enumerate_plan_candidates_sources(self, example_session):
+        query = parse_query(TWO_RELATION_QUERY)
+        candidates = enumerate_plan_candidates(
+            query, example_session.schema, example_session.store
+        )
+        sources = {candidate.source for candidate in candidates}
+        assert {"original", "rewritten", "partial"} <= sources
+        # Every candidate carries either a term or a provably-empty query.
+        for candidate in candidates:
+            assert candidate.term is not None or candidate.query.is_empty
+
+    def test_rewrite_false_keeps_only_original(self, example_session):
+        query = parse_query(RECURSIVE_QUERY)
+        candidates = enumerate_plan_candidates(
+            query, example_session.schema, example_session.store,
+            rewrite=False,
+        )
+        assert {c.source for c in candidates} == {"original"}
+
+    def test_join_order_enumeration_bounded_and_distinct(
+        self, example_session
+    ):
+        term = ucqt_to_ra(
+            parse_query(TWO_RELATION_QUERY), TranslationContext()
+        )
+        orders = optimize_term_candidates(
+            term, example_session.store, limit=3
+        )
+        assert 1 <= len(orders) <= 3
+        assert len(set(orders)) == len(orders)
+        columns = {o.columns(example_session.store) for o in orders}
+        assert len(columns) == 1  # all orders expose the same contract
+
+
+# -- the cost model ----------------------------------------------------------
+class TestCostModel:
+    def test_profiles_differ_per_backend(self):
+        assert cost_profile("vec").scan < cost_profile("ra").scan
+        assert cost_profile("vec").startup > cost_profile("ra").startup
+        # Unknown backends fall back to the interpreter-shaped profile.
+        assert cost_profile("no-such-backend") is cost_profile("ra")
+
+    def test_cost_positive_and_monotone_in_rows(self, example_session):
+        store = example_session.store
+        term = ucqt_to_ra(parse_query(RECURSIVE_QUERY), TranslationContext())
+        for backend in ("ra", "vec", "sqlite"):
+            cost = cost_term(term, store, cost_profile(backend))
+            assert cost.total > 0.0
+            assert cost.rows >= 0.0
+
+    def test_rank_marks_exactly_one_winner(self, example_session):
+        query = parse_query(RECURSIVE_QUERY)
+        candidates = enumerate_plan_candidates(
+            query, example_session.schema, example_session.store
+        )
+        choice = rank_candidates(candidates, example_session.store, "vec")
+        assert sum(1 for entry in choice.ranked if entry.chosen) == 1
+        costs = [entry.cost for entry in choice.ranked]
+        assert costs == sorted(costs)
+        assert choice.winner.cost == costs[0]
+
+    def test_render_marks_winner(self, example_session):
+        choice = plan_query(
+            parse_query(RECURSIVE_QUERY),
+            example_session.schema,
+            example_session.store,
+            "vec",
+        )
+        table = choice.render()
+        assert "planner candidates" in table
+        assert " * " in table
+        assert "est. cost" in table and "est. rows" in table
+
+
+# -- session integration -----------------------------------------------------
+class TestSessionIntegration:
+    def test_validate_planner(self):
+        assert validate_planner("cost") == "cost"
+        with pytest.raises(ValueError, match="unknown planner"):
+            validate_planner("quantum")
+        with pytest.raises(ValueError, match="unknown planner"):
+            GraphSession(
+                yago_example_graph(), yago_example_schema(), planner="bogus"
+            )
+
+    @pytest.mark.parametrize("query", [RECURSIVE_QUERY, TWO_RELATION_QUERY])
+    def test_cost_agrees_with_greedy_everywhere(self, example_session, query):
+        for backend in example_session.backends:
+            greedy = example_session.execute(query, backend, planner="greedy")
+            cost = example_session.execute(query, backend, planner="cost")
+            assert cost == greedy, backend
+
+    def test_explain_includes_candidates(self, example_session):
+        text = example_session.explain(RECURSIVE_QUERY, "vec", planner="cost")
+        assert "planner candidates (cost model: vec)" in text
+        assert " * " in text
+        greedy = example_session.explain(
+            RECURSIVE_QUERY, "vec", planner="greedy"
+        )
+        assert "planner candidates" not in greedy
+
+    def test_plan_cache_round_trip(self):
+        with GraphSession(
+            yago_example_graph(), yago_example_schema(), planner="cost"
+        ) as session:
+            first = session.prepare(RECURSIVE_QUERY, "vec")
+            second = session.prepare(RECURSIVE_QUERY, "vec")
+            assert second.plan is first.plan
+            assert second.choice is first.choice
+            # The greedy and cost entries are distinct cache entries.
+            greedy = session.prepare(RECURSIVE_QUERY, "vec", planner="greedy")
+            assert greedy.choice is None
+
+    def test_execution_stats_surface_cardinality_error(self):
+        with GraphSession(
+            yago_example_graph(), yago_example_schema(), planner="cost"
+        ) as session:
+            prepared = session.prepare(RECURSIVE_QUERY, "vec")
+            rows = prepared.execute()
+            stats = prepared.last_execution_stats
+            assert stats is not None
+            assert stats.actual_rows == len(rows)
+            assert stats.estimated_rows > 0.0
+            assert stats.cardinality_error >= 1.0
+
+    def test_feedback_and_replan(self):
+        """Every execution feeds the correction table; a low threshold
+        forces eviction and the next prepare re-plans."""
+        with GraphSession(
+            yago_example_graph(),
+            yago_example_schema(),
+            planner="cost",
+            replan_error_threshold=1.0,
+        ) as session:
+            first = session.prepare(RECURSIVE_QUERY, "vec")
+            first.execute()
+            stats = session.planner_stats
+            assert stats["observations"] == 1
+            assert stats["feedback_entries"] >= 1
+            # error factor > 1.0 on this query: the entry was evicted.
+            assert stats["replans"] == 1
+            second = session.prepare(RECURSIVE_QUERY, "vec")
+            assert second.plan is not first.plan
+            assert second.execute() == first.execute()
+            # Re-planning is bounded: the previous feedback already
+            # exceeded the threshold, so the re-planned entry is kept
+            # even though its error persists — no thrash.
+            second.execute()
+            assert session.planner_stats["replans"] == 1
+            third = session.prepare(RECURSIVE_QUERY, "vec")
+            assert third.plan is second.plan
+
+    def test_default_threshold_does_not_thrash(self):
+        with GraphSession(
+            yago_example_graph(), yago_example_schema(), planner="cost"
+        ) as session:
+            session.execute(RECURSIVE_QUERY, "vec")
+            session.execute(RECURSIVE_QUERY, "vec")
+            assert session.planner_stats["observations"] >= 1
+
+    def test_replan_threshold_validation(self):
+        with pytest.raises(ValueError, match="error"):
+            GraphSession(
+                yago_example_graph(),
+                yago_example_schema(),
+                replan_error_threshold=0.5,
+            )
+
+    def test_batch_planner_threading(self, example_session):
+        queries = [RECURSIVE_QUERY, TWO_RELATION_QUERY, RECURSIVE_QUERY]
+        batched = example_session.execute_batch(
+            queries, "vec", planner="cost"
+        )
+        singles = [
+            example_session.execute(q, "vec", planner="greedy")
+            for q in queries
+        ]
+        assert batched == singles
+
+
+# -- the fixpoint_growth backend option --------------------------------------
+class TestGrowthOption:
+    @pytest.mark.parametrize("backend", ["ra", "vec"])
+    def test_accepted(self, example_session, backend):
+        rows = example_session.execute(
+            RECURSIVE_QUERY,
+            backend,
+            backend_options={"fixpoint_growth": 16.0},
+        )
+        assert rows == example_session.execute(RECURSIVE_QUERY, backend)
+
+    @pytest.mark.parametrize("backend", ["ra", "vec"])
+    @pytest.mark.parametrize("bad", ["high", 0.0, -1, float("nan")])
+    def test_rejected(self, example_session, backend, bad):
+        with pytest.raises(ValueError, match="fixpoint growth"):
+            example_session.prepare(
+                RECURSIVE_QUERY,
+                backend,
+                backend_options={"fixpoint_growth": bad},
+            )
+
+    def test_unknown_ra_option_rejected(self, example_session):
+        with pytest.raises(ValueError, match="unknown ra backend option"):
+            example_session.prepare(
+                RECURSIVE_QUERY, "ra", backend_options={"growth": 2}
+            )
+
+
+# -- CLI ---------------------------------------------------------------------
+class TestCli:
+    def test_query_candidates_flag(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "query",
+                RECURSIVE_QUERY,
+                "--dataset",
+                "yago-example",
+                "--backend",
+                "vec",
+                "--candidates",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "planner candidates (cost model: vec)" in out
+        assert " * " in out
+
+    def test_query_planner_flag(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "query",
+                RECURSIVE_QUERY,
+                "--dataset",
+                "yago-example",
+                "--planner",
+                "cost",
+                "--explain",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "planner candidates" in out
+
+    def test_batch_planner_flag(self, capsys, tmp_path):
+        from repro.cli import main
+
+        workload = tmp_path / "queries.txt"
+        workload.write_text(f"{RECURSIVE_QUERY}\n{RECURSIVE_QUERY}\n")
+        code = main(
+            [
+                "batch",
+                str(workload),
+                "--dataset",
+                "yago-example",
+                "--planner",
+                "cost",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 quer(ies)" in out

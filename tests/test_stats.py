@@ -1,0 +1,198 @@
+"""Tests for :mod:`repro.ra.stats`: the ``with_rows`` zero-row guard,
+the configurable fixpoint growth and the ``StoreStatistics`` snapshot
+lifecycle (memoisation, version invalidation, weakref retirement, the
+adaptive correction table)."""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+
+from repro.ra import stats as stats_module
+from repro.ra.stats import (
+    FIXPOINT_GROWTH,
+    Estimate,
+    Estimator,
+    StoreStatistics,
+    default_fixpoint_growth,
+    store_statistics,
+    validate_fixpoint_growth,
+)
+from repro.ra.terms import Fix, Rel, Var
+from repro.storage.relational import RelationalStore, Table
+
+
+def _store(rows=((1, 10), (2, 20), (3, 30))) -> RelationalStore:
+    store = RelationalStore("stats-test")
+    store.add_table(
+        Table("edge", ("Sr", "Tr"), set(rows)), node_label=False
+    )
+    return store
+
+
+# -- Estimate.with_rows ------------------------------------------------------
+class TestWithRows:
+    def test_zero_base_rows_scales_to_new_count(self):
+        """Regression: a zero-row estimate used to clamp every distinct
+        count to 1 whatever the new row count (scale factor silently
+        0.0)."""
+        empty = Estimate(0.0, (("x", 0.0), ("y", 0.0)))
+        grown = empty.with_rows(10.0)
+        assert grown.rows == 10.0
+        # Unknown (zero) distinct counts default to the row count, not 1.
+        assert grown.ndv("x") == 10.0
+        assert grown.ndv("y") == 10.0
+
+    def test_zero_base_rows_keeps_known_distincts(self):
+        partial = Estimate(0.0, (("x", 3.0),))
+        assert partial.with_rows(10.0).ndv("x") == 3.0
+        # ...but never above the new row count.
+        assert partial.with_rows(2.0).ndv("x") == 2.0
+
+    def test_scaling_to_zero_rows_zeroes_distincts(self):
+        estimate = Estimate(100.0, (("x", 40.0),))
+        shrunk = estimate.with_rows(0.0)
+        assert shrunk.rows == 0.0
+        assert shrunk.ndv("x") == 0.0
+
+    def test_nonzero_scaling_unchanged(self):
+        estimate = Estimate(100.0, (("x", 40.0),))
+        half = estimate.with_rows(50.0)
+        assert half.rows == 50.0
+        assert half.ndv("x") == pytest.approx(20.0)
+        grown = estimate.with_rows(200.0)
+        assert grown.ndv("x") == 40.0  # growth never inflates NDV
+
+
+# -- configurable fixpoint growth -------------------------------------------
+class TestFixpointGrowth:
+    def test_validate_accepts_numbers(self):
+        assert validate_fixpoint_growth(2) == 2.0
+        assert validate_fixpoint_growth("6.5") == 6.5
+
+    @pytest.mark.parametrize("bad", ["nope", None, 0.5, -3, float("inf"), float("nan")])
+    def test_validate_rejects(self, bad):
+        with pytest.raises(ValueError):
+            validate_fixpoint_growth(bad)
+
+    def test_default_reads_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FIXPOINT_GROWTH", raising=False)
+        assert default_fixpoint_growth() == FIXPOINT_GROWTH
+        monkeypatch.setenv("REPRO_FIXPOINT_GROWTH", "9")
+        assert default_fixpoint_growth() == 9.0
+        monkeypatch.setenv("REPRO_FIXPOINT_GROWTH", "zero")
+        with pytest.raises(ValueError, match="REPRO_FIXPOINT_GROWTH"):
+            default_fixpoint_growth()
+
+    def test_estimator_uses_growth(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FIXPOINT_GROWTH", raising=False)
+        store = _store()
+        closure = Fix(
+            "X",
+            Rel("edge"),
+            Var("X", ("Sr", "Tr")),
+        )
+        default = Estimator(store).rows(closure)
+        doubled = Estimator(store, fixpoint_growth=8.0).rows(closure)
+        assert doubled == pytest.approx(2.0 * default)
+
+    def test_estimator_env_growth(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIXPOINT_GROWTH", "12")
+        store = _store()
+        assert Estimator(store).fixpoint_growth == 12.0
+
+    def test_observed_growth_replaces_default(self):
+        store = _store()
+        snapshot = store_statistics(store)
+        snapshot.observe_fixpoint_growth(16.0)
+        assert Estimator(store).fixpoint_growth == pytest.approx(16.0)
+        # An explicit option still wins over observations.
+        assert Estimator(store, fixpoint_growth=2.0).fixpoint_growth == 2.0
+
+
+# -- StoreStatistics lifecycle ----------------------------------------------
+class TestStoreStatisticsLifecycle:
+    def test_memoisation_hits(self):
+        """Counts are scanned once per snapshot, then served from memory
+        (mutating Table.rows directly bypasses the version counter, so
+        the stale cached value proves the memo hit)."""
+        store = _store()
+        snapshot = store_statistics(store)
+        assert snapshot.row_count("edge") == 3
+        assert snapshot.distinct_count("edge", "Sr") == 3
+        store.table("edge").rows.add((4, 40))  # hidden mutation
+        assert snapshot.row_count("edge") == 3  # memoised
+        assert snapshot.distinct_count("edge", "Sr") == 3
+        assert store_statistics(store) is snapshot  # same version, same snapshot
+
+    def test_version_bump_retires_snapshot(self):
+        store = _store()
+        first = store_statistics(store)
+        assert first.row_count("edge") == 3
+        store.add_table(
+            Table("other", ("Sr", "Tr"), {(7, 8)}), node_label=False
+        )
+        second = store_statistics(store)
+        assert second is not first
+        assert second.version == store.version
+        assert second.row_count("other") == 1
+
+    def test_version_bump_resets_corrections(self):
+        """The correction table rides the snapshot: observations made
+        against one store version do not leak into the next."""
+        store = _store()
+        store_statistics(store).observe_fixpoint_growth(32.0)
+        store.add_table(
+            Table("other", ("Sr", "Tr"), {(7, 8)}), node_label=False
+        )
+        assert store_statistics(store).observed_fixpoint_growth is None
+
+    def test_weakref_retirement(self):
+        store = _store()
+        store_statistics(store)
+        assert store in stats_module._STATISTICS
+        del store
+        gc.collect()
+        assert len(stats_module._STATISTICS) == 0 or all(
+            s.name != "stats-test" for s in stats_module._STATISTICS
+        )
+
+    def test_snapshot_does_not_pin_store(self):
+        store = _store()
+        snapshot = store_statistics(store)
+        del store
+        gc.collect()
+        with pytest.raises(ReferenceError):
+            snapshot.row_count("edge")
+
+
+# -- the correction table ----------------------------------------------------
+class TestCorrectionTable:
+    def test_observed_growth_geometric_mean(self):
+        snapshot = StoreStatistics(_store())
+        snapshot.observe_fixpoint_growth(16.0)
+        snapshot.observe_fixpoint_growth(1.0)
+        assert snapshot.observed_fixpoint_growth == pytest.approx(4.0)
+
+    def test_observations_clamped(self):
+        snapshot = StoreStatistics(_store())
+        snapshot.observe_fixpoint_growth(0.001)  # below the band
+        assert snapshot.observed_fixpoint_growth == pytest.approx(1.0)
+        snapshot2 = StoreStatistics(_store())
+        snapshot2.observe_fixpoint_growth(1e9)  # above the band
+        assert snapshot2.observed_fixpoint_growth == pytest.approx(64.0)
+
+    def test_record_plan_feedback_error_factor(self):
+        snapshot = StoreStatistics(_store())
+        assert snapshot.record_plan_feedback("q", 10.0, 1000.0) == pytest.approx(100.0)
+        assert snapshot.record_plan_feedback("q", 10.0, 10.0) == pytest.approx(1.0)
+        # Empty results do not divide by zero.
+        assert snapshot.record_plan_feedback("q", 0.0, 0.0) == pytest.approx(1.0)
+        assert snapshot.feedback["q"][2] == pytest.approx(1.0)
+
+    def test_feedback_bounded(self):
+        snapshot = StoreStatistics(_store())
+        for i in range(400):
+            snapshot.record_plan_feedback(f"q{i}", 1.0, 2.0)
+        assert len(snapshot.feedback) <= 256
