@@ -22,12 +22,16 @@ Four subcommands:
 ``--planner {greedy,cost}`` (cost-based candidate selection instead of
 the linear rewrite pipeline); ``repro query --explain --candidates``
 prints the ranked candidate table. The serving subcommands cache whole
-result sets per store version unless ``--no-result-cache`` is given.
+result sets unless ``--no-result-cache`` is given; after append-only
+store writes, stale cached results are incrementally maintained from
+the write delta unless ``--no-incremental`` (or
+``REPRO_INCREMENTAL=0``) disables maintenance.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 EXPERIMENTS = (
@@ -163,6 +167,7 @@ def _run_batch_inner(args: argparse.Namespace) -> int:
         return 1
     rewrite = not args.baseline
     backend_options = _vec_backend_options(args)
+    _apply_incremental_argument(args)
     # Serving is repeated traffic: cache whole result sets unless the
     # caller opted out.
     result_cache_size = 0 if args.no_result_cache else 256
@@ -219,6 +224,12 @@ def _run_batch_inner(args: argparse.Namespace) -> int:
                         f", {execution.result_cache_hits} answered from "
                         "the result cache"
                     )
+                maintenance = session.cache_stats["maintenance"]
+                if maintenance.results_maintained:
+                    shared_ops += (
+                        f", {maintenance.results_maintained} cached "
+                        "result(s) incrementally maintained"
+                    )
                 if execution.parallel_ops:
                     shared_ops += (
                         f", {execution.morsels_dispatched} morsel(s) over "
@@ -252,6 +263,7 @@ def _run_batch_inner(args: argparse.Namespace) -> int:
 
 
 def _run_query_inner(args: argparse.Namespace) -> int:
+    _apply_incremental_argument(args)
     session = _load_session(args.dataset, args.scale)
     with session:
         rewrite = not args.baseline
@@ -302,6 +314,21 @@ def _add_parallel_arguments(parser) -> None:
         "--morsel-size", type=int, default=None, metavar="ROWS",
         help="vec backend: rows per morsel task (default 4096)",
     )
+
+
+def _add_incremental_argument(parser) -> None:
+    parser.add_argument(
+        "--no-incremental", action="store_true",
+        help="disable incremental maintenance of caches under store "
+        "writes (same as REPRO_INCREMENTAL=0): stale cached results "
+        "and encodings are rebuilt from scratch instead of maintained "
+        "from the append delta",
+    )
+
+
+def _apply_incremental_argument(args: argparse.Namespace) -> None:
+    if getattr(args, "no_incremental", False):
+        os.environ["REPRO_INCREMENTAL"] = "0"
 
 
 def _add_planner_argument(parser) -> None:
@@ -385,6 +412,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_parallel_arguments(query)
     _add_planner_argument(query)
+    _add_incremental_argument(query)
 
     for name, help_text in (
         ("batch", "execute a file of queries as one shared batch"),
@@ -432,6 +460,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         _add_parallel_arguments(sub)
         _add_planner_argument(sub)
+        _add_incremental_argument(sub)
         if name == "serve":
             sub.add_argument(
                 "--workers", type=int, default=2,

@@ -15,6 +15,7 @@ planning are cached per (query, schema fingerprint, options).
 """
 
 from repro.engine.cache import (
+    CachedResult,
     CacheStats,
     LruCache,
     freeze_options,
@@ -41,6 +42,7 @@ __all__ = [
     "available_backends",
     "schema_fingerprint",
     "CacheStats",
+    "CachedResult",
     "LruCache",
     "freeze_options",
     "result_cache_key",

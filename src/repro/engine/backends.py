@@ -40,7 +40,7 @@ from repro.ra.evaluate import evaluate_term
 from repro.ra.optimizer import optimize_term
 from repro.ra.plan import explain as explain_ra_term
 from repro.ra.stats import Estimator, validate_fixpoint_growth
-from repro.ra.terms import RaTerm
+from repro.ra.terms import RaTerm, Rel
 from repro.ra.translate import TranslationContext, ucqt_to_ra
 from repro.sql.generate import ucqt_to_sql
 
@@ -265,9 +265,16 @@ class VecBackend:
         plan: VecPlan,
         timeout_seconds: float | None = None,
         stats: ExecutionStats | None = None,
+        fix_capture: dict | None = None,
     ) -> frozenset[tuple]:
         """Execute, optionally collecting per-operator actual
-        cardinalities (the adaptive planner's feedback signal)."""
+        cardinalities (the adaptive planner's feedback signal).
+
+        ``fix_capture``, when a dict, receives the materialised totals
+        of the program's closed fixpoints (integer-code rows keyed by
+        source :class:`~repro.ra.terms.Fix` term) — the states the
+        result cache stores for incremental maintenance after writes.
+        """
         parallelism = (
             plan.parallelism
             if plan.parallelism is not None
@@ -282,6 +289,7 @@ class VecBackend:
             parallelism=parallelism,
             morsel_size=plan.morsel_size,
             stats=stats,
+            fix_capture=fix_capture,
         )
 
     def explain(self, session: "GraphSession", plan: VecPlan) -> str:
@@ -306,6 +314,30 @@ class VecBackend:
 
     def result_token(self, plan: VecPlan):
         return (plan.term, plan.head)
+
+
+def plan_read_relations(plan) -> tuple[str, ...] | None:
+    """The store relations a prepared plan reads, when statically known.
+
+    Used by the result cache's maintenance flow: a stale entry whose
+    plan touches none of the changed relations is simply re-stamped to
+    the current store version. ``None`` means the read set is unknown
+    (``sqlite``/``gdb``/``reference`` plans) and the caller must fall
+    back to maintenance or invalidation.
+    """
+    if isinstance(plan, VecPlan):
+        return plan.program.scan_tables
+    if isinstance(plan, RaPlan):
+        return tuple(
+            sorted(
+                {
+                    node.name
+                    for node in plan.term.walk()
+                    if isinstance(node, Rel)
+                }
+            )
+        )
+    return None
 
 
 # -- generated SQL on SQLite --------------------------------------------------

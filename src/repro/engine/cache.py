@@ -5,9 +5,12 @@ cache and the (opt-in) result-set cache — are instances of
 :class:`LruCache`. Keys always embed the session's schema fingerprint,
 so a schema change invalidates entries *semantically* — stale entries
 simply never hit again and age out of the LRU order. Result-set entries
-additionally embed the relational store's ``version`` counter
-(:func:`result_cache_key`), so any store mutation retires them the same
-way.
+carry the store version they were computed at *inside the value*
+(:class:`CachedResult`) rather than in the key: a stale entry is found
+again after a write, so the session can **maintain** it from the
+store's append delta (re-seeding the semi-naive executor over the
+materialised fixpoint states) instead of recomputing — falling back to
+eviction when no delta exists.
 """
 
 from __future__ import annotations
@@ -42,7 +45,6 @@ def result_cache_key(
     backend_name: str,
     plan_token: Hashable,
     fingerprint: str,
-    store_version: int,
     options: Mapping | None,
 ) -> tuple:
     """The result-set cache key for one executable plan.
@@ -50,11 +52,12 @@ def result_cache_key(
     ``plan_token`` is the backend's *structural* plan identity (e.g. the
     optimised µ-RA term plus head for ``ra``/``vec``, the generated SQL
     text for ``sqlite``) — logically identical plans share one entry
-    however they were prepared. ``store_version`` makes invalidation
-    automatic: any store mutation bumps the counter and every cached
-    result stops matching; the schema fingerprint covers sessions whose
-    store was rebuilt from scratch (a fresh store restarts its version
-    counter). Backend options are canonicalised with
+    however they were prepared. The store version deliberately stays
+    *out* of the key: it lives on the :class:`CachedResult` value, so a
+    lookup after a write still finds the stale entry and the session can
+    maintain it from the store's append delta instead of recomputing.
+    The schema fingerprint covers sessions whose store was rebuilt from
+    scratch. Backend options are canonicalised with
     :func:`freeze_options` and partition entries deliberately — even
     row-invariant tuning knobs like ``parallelism`` keep separate
     entries. That is conservative (a mixed-options caller re-executes
@@ -65,9 +68,35 @@ def result_cache_key(
         backend_name,
         plan_token,
         fingerprint,
-        store_version,
         freeze_options(options),
     )
+
+
+@dataclass
+class CachedResult:
+    """One result-set cache entry, maintainable in place.
+
+    ``version`` is the store version the rows are valid at — a lookup
+    at a newer version triggers maintenance or eviction. ``fix_states``
+    (``vec`` fixpoint plans only) maps each closed fixpoint's source
+    :class:`~repro.ra.terms.Fix` term to a ``(total, state, domain)``
+    triple — its materialised total as a *kernel-native* table of
+    integer codes, the membership state iteration converged with, and
+    the packing domain of that state — and ``output`` holds the
+    head-ordered root output the decoded ``rows`` came from. Codes are
+    domain-independent and survive append-only writes (the dictionary
+    is append-only), so maintenance can seed the executor with these
+    tables as-is and continue semi-naive iteration from where the
+    cached execution converged — decoding only the rows the write
+    added. ``kernel_name`` records which kernel produced the tables; a
+    lookup under a different kernel must not reuse them.
+    """
+
+    rows: frozenset
+    version: int
+    fix_states: dict | None = None
+    output: object | None = None
+    kernel_name: str | None = None
 
 
 def _freeze_value(value):
@@ -128,6 +157,27 @@ class LruCache:
             return value
         self.misses += 1
         return None
+
+    def peek(self, key: Hashable):
+        """The cached value for ``key`` without counting the lookup.
+
+        Used by the maintenance-aware result-cache flow: whether a found
+        entry is a *hit* depends on whether it can be served (fresh or
+        maintained), so the caller settles the counters afterwards with
+        :meth:`count_hit`/:meth:`count_miss`.
+        """
+        value = self._data.get(key, _MISSING)
+        return None if value is _MISSING else value
+
+    def count_hit(self, key: Hashable | None = None) -> None:
+        """Record a hit (and refresh ``key``'s LRU position)."""
+        self.hits += 1
+        if key is not None and key in self._data:
+            self._data.move_to_end(key)
+
+    def count_miss(self) -> None:
+        """Record a miss."""
+        self.misses += 1
 
     def put(self, key: Hashable, value) -> None:
         """Store ``value`` under ``key`` (no counter movement)."""

@@ -6,8 +6,9 @@ time over Python sets of heterogeneous values. This subsystem executes the
 over columns of dense integer codes:
 
 * :mod:`repro.exec.dictionary` — dictionary-encodes every node id and
-  constant into a dense integer once per store snapshot (invalidated by
-  :attr:`~repro.storage.relational.RelationalStore.version`),
+  constant into a dense integer once per store snapshot; the encoding is
+  *append-only*, so append-only store writes fold in as O(delta) code
+  appends and only barrier writes rebuild it,
 * :mod:`repro.exec.kernels` — the columnar kernel primitives (gather,
   distinct, hash join on encoded key columns, set difference), with a
   NumPy implementation and a pure-Python fallback behind one surface,
@@ -16,6 +17,9 @@ over columns of dense integer codes:
   positional indices at compile time,
 * :mod:`repro.exec.executor` — runs a compiled program, including
   semi-naive fixpoint iteration over delta frontiers,
+* :mod:`repro.exec.maintain` — incrementally maintains cached fixpoint
+  results after append-only store writes by re-seeding the semi-naive
+  iteration with a delta-derived frontier,
 * :mod:`repro.exec.parallel` — morsel-driven parallel execution: the
   heavy kernel operators fan out over fixed-size row morsels on a
   shared thread pool (:class:`~repro.exec.parallel.MorselKernel`).
@@ -29,12 +33,18 @@ from repro.exec.compile import CompiledProgram, compile_term, render_program
 from repro.exec.dictionary import (
     StoreEncoding,
     ValueDictionary,
+    encoding_appends,
     encoding_for,
 )
 from repro.exec.executor import (
     ExecutionStats,
     execute_batch_programs,
     execute_program,
+)
+from repro.exec.maintain import (
+    MaintenanceOutcome,
+    maintain_program,
+    maintainable,
 )
 from repro.exec.kernels import available_kernels, default_kernel, get_kernel
 from repro.exec.parallel import (
@@ -48,6 +58,7 @@ __all__ = [
     "CompiledProgram",
     "DEFAULT_MORSEL_SIZE",
     "ExecutionStats",
+    "MaintenanceOutcome",
     "MorselKernel",
     "StoreEncoding",
     "ValueDictionary",
@@ -55,10 +66,13 @@ __all__ = [
     "compile_term",
     "default_kernel",
     "default_parallelism",
+    "encoding_appends",
     "encoding_for",
     "execute_batch_programs",
     "execute_program",
     "get_kernel",
+    "maintain_program",
+    "maintainable",
     "morsel_ranges",
     "render_program",
 ]

@@ -178,6 +178,11 @@ class FixOp(PhysOp):
     step: PhysOp
     step_perm: list[int] | None
     linear: bool
+    #: The source :class:`~repro.ra.terms.Fix` term (a frozen, value-
+    #: hashable dataclass). Cached fixpoint states are keyed on it, so
+    #: incremental maintenance survives recompilation: a logically equal
+    #: fixpoint in a rebuilt program finds the state of its predecessor.
+    source: object | None = field(default=None, repr=False)
 
     def children(self) -> tuple[PhysOp, ...]:
         return (self.base, self.step)
@@ -236,6 +241,13 @@ _CACHES: "WeakKeyDictionary[RelationalStore, _CompileCache]" = (
 def _cache_for(store: RelationalStore) -> _CompileCache:
     cache = _CACHES.get(store)
     if cache is None or cache.version != store.version:
+        # Compilation only reads table *shapes* (column tuples), which
+        # append-only writes cannot change — programs, and the node
+        # sharing between them, stay valid across such deltas. Barrier
+        # writes (new tables, replacements) rebuild as before.
+        if cache is not None and store.delta_since(cache.version) is not None:
+            cache.version = store.version
+            return cache
         cache = _CompileCache(store)
         _CACHES[store] = cache
     return cache
@@ -409,6 +421,7 @@ class _Compiler:
                 step,
                 perm,
                 _is_linear(term.step, term.var),
+                source=term,
             )
         raise EvaluationError(f"unknown RA term {term!r}")
 

@@ -6,10 +6,15 @@ is interned into one store-wide :class:`ValueDictionary` (store-wide, not
 per-column, so natural-join key columns from different tables share a code
 space and joins compare raw integers).
 
-Encodings are snapshots: :func:`encoding_for` caches one
-:class:`StoreEncoding` per store and rebuilds it when the store's
-``version`` counter moves (``add_table``/``add_alias``). Individual tables
-are encoded lazily on first scan and the encoded columns are additionally
+Encodings are *append-only*: :func:`encoding_for` caches one
+:class:`StoreEncoding` per store; when the store's ``version`` counter
+moves across an append-only write
+(:meth:`~repro.storage.relational.RelationalStore.delta_since`), the
+delta rows are encoded into the existing snapshot — existing codes
+survive, new constants get fresh codes, and the cost is O(delta), not
+O(store). Only barrier writes (new tables, replacements, or
+``REPRO_INCREMENTAL=0``) rebuild the snapshot. Individual tables are
+encoded lazily on first scan and the encoded columns are additionally
 cached per kernel, so repeated executions touch no Python-object hashing
 at all.
 """
@@ -97,6 +102,9 @@ class StoreEncoding:
         self.version = store.version
         self.dictionary = ValueDictionary()
         self._tables: dict[str, EncodedTable] = {}
+        #: Cumulative rows folded in by :meth:`apply_delta` (the
+        #: ``encoding_appends`` maintenance counter).
+        self.appended_rows = 0
 
     @property
     def store(self) -> RelationalStore:
@@ -121,6 +129,31 @@ class StoreEncoding:
             self._tables[name] = encoded
         return encoded
 
+    def apply_delta(
+        self, deltas: dict[str, frozenset], version: int
+    ) -> None:
+        """Fold an append-only store delta into this snapshot in place.
+
+        Already-encoded tables get the delta rows appended column-wise
+        (new constants are interned, existing codes are untouched);
+        tables not yet encoded stay lazy and will read the full current
+        contents on first scan. Per-kernel column caches of the changed
+        tables are dropped — they rebuild from the appended code lists.
+        """
+        encode = self.dictionary.encode
+        for name, rows in deltas.items():
+            encoded = self._tables.get(name)
+            if encoded is None:
+                continue  # still lazy: first scan encodes the new rows too
+            codes = encoded.codes
+            for row in rows:
+                for position, value in enumerate(row):
+                    codes[position].append(encode(value))
+            encoded.nrows += len(rows)
+            encoded._kernel_tables.clear()
+            self.appended_rows += len(rows)
+        self.version = version
+
     @property
     def domain_size(self) -> int:
         """Number of interned values (the base for key packing)."""
@@ -133,9 +166,28 @@ _ENCODINGS: "WeakKeyDictionary[RelationalStore, StoreEncoding]" = (
 
 
 def encoding_for(store: RelationalStore) -> StoreEncoding:
-    """The cached encoding snapshot for ``store``'s current version."""
+    """The cached encoding for ``store``, maintained across appends.
+
+    A version mismatch is first reconciled through
+    :meth:`RelationalStore.delta_since`: append-only writes are folded
+    into the existing snapshot (codes survive, cost O(delta)); barrier
+    writes — or disabled incremental maintenance — rebuild from scratch.
+    """
     encoding = _ENCODINGS.get(store)
     if encoding is None or encoding.version != store.version:
-        encoding = StoreEncoding(store)
-        _ENCODINGS[store] = encoding
+        deltas = (
+            None if encoding is None else store.delta_since(encoding.version)
+        )
+        if deltas is not None:
+            encoding.apply_delta(deltas, store.version)
+        else:
+            encoding = StoreEncoding(store)
+            _ENCODINGS[store] = encoding
     return encoding
+
+
+def encoding_appends(store: RelationalStore) -> int:
+    """Rows folded into ``store``'s live encoding by append-only deltas
+    (0 when no encoding exists yet)."""
+    encoding = _ENCODINGS.get(store)
+    return encoding.appended_rows if encoding is not None else 0

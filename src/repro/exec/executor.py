@@ -55,6 +55,12 @@ from repro.storage.relational import RelationalStore
 
 _NO_BUDGET = EvalBudget(None)
 
+#: Sentinel keys a fix-capture dict carries alongside its Fix-term keys:
+#: the head-ordered root output table and the kernel that produced every
+#: captured table (states from one kernel must not seed another).
+CAPTURE_OUTPUT = "__output__"
+CAPTURE_KERNEL = "__kernel__"
+
 
 @dataclass
 class ExecutionStats:
@@ -67,6 +73,13 @@ class ExecutionStats:
     fan-outs of a parallel run (zero on sequential or GIL-bound runs);
     ``result_cache_hits``/``result_cache_misses`` count whole queries the
     serving layer answered from (or had to add to) the result-set cache.
+
+    The ``results_maintained``/``results_invalidated`` pair counts how
+    stale result-cache entries were handled after store writes —
+    incrementally maintained from the append delta vs evicted and
+    recomputed. ``delta_rows_applied`` counts the delta rows folded into
+    maintained results, and ``encoding_appends`` the rows appended to
+    the store's dictionary encoding instead of triggering a rebuild.
 
     The ``*_rows`` counters are **actual cardinalities** per operator
     kind, counted as each operator materialises its output — the
@@ -83,6 +96,10 @@ class ExecutionStats:
     morsels_dispatched: int = 0
     result_cache_hits: int = 0
     result_cache_misses: int = 0
+    delta_rows_applied: int = 0
+    results_maintained: int = 0
+    results_invalidated: int = 0
+    encoding_appends: int = 0
     scan_rows: int = 0
     join_rows: int = 0
     union_rows: int = 0
@@ -132,6 +149,7 @@ def execute_program(
     parallelism: int | None = None,
     morsel_size: int | None = None,
     stats: ExecutionStats | None = None,
+    fix_capture: dict | None = None,
 ) -> frozenset[tuple]:
     """Run ``program`` on ``store``; returns decoded, head-ordered rows."""
     return execute_batch_programs(
@@ -143,6 +161,7 @@ def execute_program(
         parallelism=parallelism,
         morsel_size=morsel_size,
         stats=stats,
+        fix_captures=None if fix_capture is None else [fix_capture],
     )[0]
 
 
@@ -155,6 +174,7 @@ def execute_batch_programs(
     stats: ExecutionStats | None = None,
     parallelism: int | None = None,
     morsel_size: int | None = None,
+    fix_captures: list | None = None,
 ) -> list[frozenset[tuple]]:
     """Run several compiled programs with shared encoding and shared memo.
 
@@ -169,6 +189,18 @@ def execute_batch_programs(
     over a thread pool (:mod:`repro.exec.parallel`); ``morsel_size``
     tunes the rows-per-task granularity. Both are no-ops on kernels that
     hold the GIL — results are identical in every configuration.
+
+    ``fix_captures[i]``, when a dict, receives, for every *closed*
+    fixpoint in program ``i`` keyed by its source
+    :class:`~repro.ra.terms.Fix` term, a ``(total, state, domain)``
+    triple — the materialised total as a kernel-native coded table, the
+    membership state iteration converged with, and the packing domain
+    that state was built at — plus the head-ordered root output table
+    under :data:`CAPTURE_OUTPUT` and the kernel name under
+    :data:`CAPTURE_KERNEL`. These are what the result cache stores so a
+    later write can continue semi-naive iteration instead of
+    recomputing. Capturing is O(1) per fixpoint: the tables are the
+    runner's own materialisations, shared not copied.
     """
     kernel = kernel or default_kernel()
     morsel: MorselKernel | None = None
@@ -186,7 +218,9 @@ def execute_batch_programs(
         runner = _Runner(programs, encoding, kernel, budget or _NO_BUDGET)
         decode_row = encoding.dictionary.decode_row
         results: list[frozenset[tuple]] = []
-        for program, head in zip(programs, heads):
+        if fix_captures is None:
+            fix_captures = [None] * len(programs)
+        for program, head, capture in zip(programs, heads, fix_captures):
             table = runner.run(program)
             columns = program.columns
             if head is not None and head != columns:
@@ -196,6 +230,22 @@ def execute_batch_programs(
             results.append(
                 frozenset(decode_row(row) for row in kernel.to_rows(table))
             )
+            if capture is None:
+                continue
+            capture[CAPTURE_KERNEL] = getattr(kernel, "NAME", None)
+            capture[CAPTURE_OUTPUT] = table
+            for op in program.root.walk():
+                if (
+                    isinstance(op, FixOp)
+                    and op.closed
+                    and op.source is not None
+                    and id(op) in runner._memo
+                ):
+                    capture[op.source] = (
+                        runner._memo[id(op)],
+                        runner.fix_final_states.get(id(op)),
+                        runner.domain,
+                    )
     finally:
         if morsel is not None:
             morsel.close()
@@ -220,6 +270,11 @@ class _Runner:
         self.budget = budget
         self.stats = ExecutionStats(programs=len(programs))
         self._memo: dict[int, object] = {}
+        #: id(FixOp) -> the membership state its iteration converged
+        #: with, kept so fix captures can store (total, state, domain)
+        #: and a later maintenance run can resume without re-sorting
+        #: the whole total back into a state.
+        self.fix_final_states: dict[int, object] = {}
         # Encode every table referenced anywhere in the batch before
         # executing: operators never intern new values, so the packing
         # domain is fixed from here on — across all programs.
@@ -317,7 +372,18 @@ class _Runner:
         self.stats.fixpoint_base_rows += kernel.nrows(base)
         state = kernel.empty_state()
         delta, state = kernel.difference(base, state, self.domain)
-        total = delta
+        return self._iterate_fixpoint(op, env, state, delta, delta)
+
+    def _iterate_fixpoint(self, op: FixOp, env: dict, state, total, delta):
+        """Semi-naive iteration from an arbitrary sound starting point.
+
+        ``state`` must already contain ``total`` and ``delta`` must be
+        the current frontier (rows of ``total`` not yet fed to the
+        step). Shared with the incremental maintenance runner, which
+        seeds ``total`` with a previously materialised fixpoint and
+        ``delta`` with the frontier derived from a store append.
+        """
+        kernel = self.kernel
         while kernel.nrows(delta):
             self.budget.check_now()
             # Semi-naive: only the frontier feeds a linear step; a
@@ -325,4 +391,5 @@ class _Runner:
             produced = self._step(op, env, delta if op.linear else total)
             delta, state = kernel.difference(produced, state, self.domain)
             total = kernel.concat(total, delta)
+        self.fix_final_states[id(op)] = state
         return total

@@ -19,6 +19,15 @@ from repro.errors import EvaluationError
 NodeId = int
 EdgePair = tuple[int, int]
 
+#: Placeholder label for nodes that exist only as edge endpoints — a
+#: relational append can reference an id no node table mentions, and
+#: the graph model requires every node to carry a label. The sentinel
+#: never appears in schemas or queries, so label atoms exclude these
+#: nodes in the graph engines exactly as node-table membership atoms
+#: exclude them relationally. A later :meth:`PropertyGraph.add_node`
+#: with a real label upgrades the sentinel in place.
+UNLABELLED = "__unlabelled__"
+
 
 class PropertyGraph:
     """A labelled directed multigraph with node properties."""
@@ -42,14 +51,19 @@ class PropertyGraph:
         label: str,
         properties: Mapping[str, object] | None = None,
     ) -> NodeId:
-        """Add a node; re-adding an id with a different label is an error."""
+        """Add a node; re-adding an id with a different label is an error
+        (upgrading from the :data:`UNLABELLED` sentinel is allowed)."""
         existing = self._labels.get(node_id)
         if existing is not None:
             if existing != label:
-                raise EvaluationError(
-                    f"node {node_id} already has label {existing!r}; "
-                    f"cannot relabel to {label!r}"
-                )
+                if existing != UNLABELLED:
+                    raise EvaluationError(
+                        f"node {node_id} already has label {existing!r}; "
+                        f"cannot relabel to {label!r}"
+                    )
+                self._labels[node_id] = label
+                self._label_index[UNLABELLED].discard(node_id)
+                self._label_index.setdefault(label, set()).add(node_id)
             if properties:
                 self._props.setdefault(node_id, {}).update(properties)
             return node_id

@@ -83,16 +83,17 @@ class StoreStatistics:
     ``Table.distinct_count`` rescans every row; the optimizer asks for the
     same counts on every call (one fresh :class:`Estimator` per
     ``optimize_term``), so the scans are cached here per
-    ``(store, store.version)`` snapshot. ``add_table``/``add_alias`` bump
-    the version, which retires the snapshot on the next lookup.
+    ``(store, store.version)`` snapshot. Store writes bump the version,
+    which retires the snapshot on the next lookup.
 
     The snapshot doubles as the planner's **correction table**: sessions
     feed actual cardinalities observed during execution back in
     (:meth:`observe_fixpoint_growth`, :meth:`record_plan_feedback`), and
     later estimates consult the corrections
-    (:attr:`observed_fixpoint_growth`). Because corrections live on the
-    snapshot, any store mutation retires them together with the row and
-    NDV counts they were observed under.
+    (:attr:`observed_fixpoint_growth`). Barrier writes retire the
+    corrections together with the row and NDV counts they were observed
+    under; append-only writes carry them into the successor snapshot
+    (:meth:`carry_from`) so the planner keeps what it has learned.
     """
 
     def __init__(self, store: RelationalStore):
@@ -173,6 +174,26 @@ class StoreStatistics:
         """The recorded (estimated, actual, error) triples per plan token."""
         return dict(self._feedback)
 
+    def carry_from(
+        self, previous: "StoreStatistics", appended: dict[str, frozenset]
+    ) -> None:
+        """Seed this snapshot from its predecessor across an append delta.
+
+        Growth observations and plan feedback are learned corrections,
+        not row scans — appends do not falsify them, so the planner must
+        not re-learn from scratch after every write. Memoised row counts
+        of changed tables are advanced by exactly the delta size (delta
+        rows are genuinely new); their distinct counts are dropped and
+        rescanned lazily. Unchanged tables keep every memo.
+        """
+        self._growth_observations = list(previous._growth_observations)
+        self._feedback = dict(previous._feedback)
+        for name, count in previous._rows.items():
+            self._rows[name] = count + len(appended.get(name, ()))
+        for key, value in previous._ndv.items():
+            if key[0] not in appended:
+                self._ndv[key] = value
+
 
 _STATISTICS: "WeakKeyDictionary[RelationalStore, StoreStatistics]" = (
     WeakKeyDictionary()
@@ -180,10 +201,21 @@ _STATISTICS: "WeakKeyDictionary[RelationalStore, StoreStatistics]" = (
 
 
 def store_statistics(store: RelationalStore) -> StoreStatistics:
-    """The memoised statistics snapshot for ``store``'s current version."""
+    """The memoised statistics snapshot for ``store``'s current version.
+
+    Across append-only writes the fresh snapshot inherits its
+    predecessor's adaptive corrections (and delta-adjusted row memos)
+    via :meth:`StoreStatistics.carry_from`; barrier writes start clean.
+    """
     stats = _STATISTICS.get(store)
     if stats is None or stats.version != store.version:
+        deltas = (
+            None if stats is None else store.delta_since(stats.version)
+        )
+        previous = stats
         stats = StoreStatistics(store)
+        if deltas is not None and previous is not None:
+            stats.carry_from(previous, deltas)
         _STATISTICS[store] = stats
     return stats
 

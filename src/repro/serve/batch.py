@@ -18,10 +18,12 @@ occurs in the batch — and the execution side shares physical work:
 
 When the session's **result-set cache** is enabled, every distinct plan
 is first looked up by ``(backend, structural plan token, schema
-fingerprint, store version, frozen backend options)`` — plans already
-answered under the current store skip execution entirely and only the
-misses enter the shared runner (morsel-parallel when the plans carry a
-``parallelism`` option). Hits and misses are counted on the batch's
+fingerprint, frozen backend options)`` — plans answered under the
+current store version skip execution entirely, entries stale only by an
+append-only write are incrementally *maintained* from the store delta
+(still a hit), and only true misses enter the shared runner
+(morsel-parallel when the plans carry a ``parallelism`` option). Hits
+and misses are counted on the batch's
 :class:`~repro.exec.executor.ExecutionStats`.
 
 :class:`BatchReport` records what was shared so callers (benchmarks,
@@ -41,6 +43,7 @@ from repro.graph.evaluator import EvalBudget
 from repro.query.model import UCQT
 from repro.query.parser import parse_query
 from repro.ra.stats import store_statistics
+from repro.storage.relational import incremental_enabled
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.rewriter import RewriteOptions
@@ -170,7 +173,7 @@ def _execute_vec_shared(
             )
         cache_key = handle.result_cache_key()
         if cache_key is not None:
-            hit = session._result_cache.get(cache_key)
+            hit = session._lookup_result(handle, cache_key, timeout_seconds)
             if hit is not None:
                 rows_by_key[key] = hit
                 stats.result_cache_hits += 1
@@ -188,6 +191,15 @@ def _execute_vec_shared(
         # (the CI matrix leg that runs everything morsel-parallel).
         parallelism = default_parallelism()
     if runnable:
+        version_before = session.store.version
+        captures: list[dict | None] | None = None
+        if incremental_enabled():
+            # Capture closed-fixpoint totals for cacheable plans so the
+            # stored entries can be maintained after append-only writes.
+            captures = [
+                {} if cache_key is not None else None
+                for _, _, _, cache_key in runnable
+            ]
         results = execute_batch_programs(
             [plan.program for _, _, plan, _ in runnable],
             session.store,
@@ -197,12 +209,16 @@ def _execute_vec_shared(
             stats=stats,
             parallelism=parallelism,
             morsel_size=morsel_size,
+            fix_captures=captures,
         )
         cost_planned = False
-        for (key, handle, _, cache_key), rows in zip(runnable, results):
+        for index, ((key, handle, _, cache_key), rows) in enumerate(
+            zip(runnable, results)
+        ):
             rows_by_key[key] = rows
             if cache_key is not None:
-                session._result_cache.put(cache_key, rows)
+                capture = captures[index] if captures is not None else None
+                session._store_result(cache_key, rows, version_before, capture)
             if handle.choice is not None:
                 # Cost-planned batches close the adaptive loop per plan
                 # and surface summed estimated-vs-actual cardinalities.

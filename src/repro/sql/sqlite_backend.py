@@ -27,6 +27,7 @@ class SqliteBackend:
 
     def __init__(self, store: RelationalStore):
         self.store = store
+        self.version = store.version
         self.connection = sqlite3.connect(":memory:")
         self._load()
 
@@ -59,6 +60,40 @@ class SqliteBackend:
             cursor.execute(f"CREATE VIEW {alias} AS {union_sql}")
         cursor.execute("ANALYZE")
         self.connection.commit()
+
+    def sync(self) -> None:
+        """Catch the database up with the store after writes.
+
+        Append-only store deltas are replayed as ``INSERT OR IGNORE``
+        into the already-loaded tables (alias views recompute from their
+        members, so alias entries in the delta need no work of their
+        own); barrier writes (new tables, replacements) rebuild the
+        whole in-memory database.
+        """
+        store = self.store
+        if self.version == store.version:
+            return
+        deltas = store.delta_since(self.version)
+        if deltas is None:
+            self.connection.close()
+            self.connection = sqlite3.connect(":memory:")
+            self._load()
+        else:
+            cursor = self.connection.cursor()
+            aliases = store.aliases
+            for name in sorted(deltas):
+                if name in aliases:
+                    continue
+                rows = deltas[name]
+                if not rows:
+                    continue
+                placeholders = ", ".join("?" for _ in next(iter(rows)))
+                cursor.executemany(
+                    f"INSERT OR IGNORE INTO {name} VALUES ({placeholders})",
+                    list(rows),
+                )
+            self.connection.commit()
+        self.version = store.version
 
     # -- execution -----------------------------------------------------------
     def execute_sql(

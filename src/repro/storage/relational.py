@@ -6,10 +6,19 @@ column per declared property. *Alias views* implement the paper's abstract
 LDBC relations (``Organisation`` = Company ∪ University, ``Place`` = City ∪
 Country ∪ Continent) so the Fig. 15-17 artefacts can be reproduced
 verbatim.
+
+Writes come in two kinds. **Appends** (:meth:`RelationalStore.add_rows`,
+or ``add_table`` on an existing name) record a per-version delta that
+:meth:`RelationalStore.delta_since` can replay, so derived caches —
+dictionary encodings, compiled programs, statistics, cached result sets —
+maintain themselves in O(delta). **Barrier writes** (new tables, new
+alias views, :meth:`RelationalStore.replace_table`) admit no delta and
+invalidate those caches wholesale, as every write used to.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
@@ -18,6 +27,25 @@ from repro.graph.model import PropertyGraph
 from repro.schema.model import GraphSchema
 
 Row = tuple
+
+#: Process-wide switch for the incremental write path. When disabled
+#: (``REPRO_INCREMENTAL=0``) :meth:`RelationalStore.delta_since` reports
+#: every write as non-reconstructible, so every derived cache (dictionary
+#: encoding, compiled programs, statistics, result sets) falls back to
+#: full invalidation — the pre-incremental behaviour.
+_ENV_INCREMENTAL = "REPRO_INCREMENTAL"
+
+#: How many per-version delta-log entries a store retains. Reading a
+#: delta across more versions than this returns None (treat as barrier);
+#: the bound keeps long write streams from accumulating history nobody
+#: will ever replay.
+_DELTA_LOG_LIMIT = 64
+
+
+def incremental_enabled() -> bool:
+    """True unless ``$REPRO_INCREMENTAL`` is set to ``0`` (read per call,
+    so tests and CI legs can toggle it without re-importing)."""
+    return os.environ.get(_ENV_INCREMENTAL, "1") != "0"
 
 
 @dataclass
@@ -52,17 +80,33 @@ class RelationalStore:
         self._node_labels: set[str] = set()
         self._edge_labels: set[str] = set()
         self._version = 0
+        #: ``(version_after, appended)`` per write. ``appended`` maps
+        #: table/alias name -> the genuinely-new rows of that write; a
+        #: ``None`` entry is a *barrier* (new table, new alias view,
+        #: whole-table replacement) across which no delta exists.
+        self._delta_log: list[tuple[int, dict[str, frozenset[Row]] | None]] = []
 
     @property
     def version(self) -> int:
-        """Snapshot counter, bumped by ``add_table``/``add_alias``.
+        """Snapshot counter, bumped by every effective write.
 
         Derived caches (memoised statistics, dictionary encodings) key on
         ``(store, version)`` so they invalidate automatically when the
-        set of tables changes. Mutating ``Table.rows`` directly bypasses
-        the counter — register tables through ``add_table`` instead.
+        content changes — unless :meth:`delta_since` can describe the
+        change as an append-only delta, in which case they maintain
+        themselves in place. No-op writes (re-adding rows or aliases the
+        store already holds) do *not* move the counter. Mutating
+        ``Table.rows`` directly bypasses the counter — write through
+        ``add_table``/``add_rows`` instead.
         """
         return self._version
+
+    def _bump(self, appended: dict[str, frozenset[Row]] | None) -> None:
+        """Advance the version; ``appended`` of None records a barrier."""
+        self._version += 1
+        self._delta_log.append((self._version, appended))
+        if len(self._delta_log) > _DELTA_LOG_LIMIT:
+            del self._delta_log[0]
 
     # -- loading -----------------------------------------------------------
     @classmethod
@@ -102,19 +146,113 @@ class RelationalStore:
         return store
 
     def add_table(self, table: Table, node_label: bool) -> None:
-        if table.name in self._tables or table.name in self._aliases:
+        """Register a new table, or *append* to an existing one.
+
+        Re-adding a name that already exists with the same columns and
+        the same node/edge classification appends the rows through
+        :meth:`add_rows` (a zero-row append is version-neutral); any
+        shape mismatch is rejected. A genuinely new table is a barrier
+        write: caches cannot be maintained across it.
+        """
+        existing = self._tables.get(table.name)
+        if existing is not None:
+            if existing.columns != table.columns:
+                raise EvaluationError(
+                    f"table {table.name!r} already exists with columns "
+                    f"{existing.columns}, cannot re-add with {table.columns}"
+                )
+            if (table.name in self._node_labels) != node_label:
+                raise EvaluationError(
+                    f"table {table.name!r} cannot switch between node and "
+                    "edge classification"
+                )
+            self.add_rows(table.name, table.rows)
+            return
+        if table.name in self._aliases:
             raise EvaluationError(f"duplicate table name {table.name!r}")
         self._tables[table.name] = table
         self._alias_tables.clear()
-        self._version += 1
         if node_label:
             self._node_labels.add(table.name)
         else:
             self._edge_labels.add(table.name)
+        self._bump(None)
+
+    def add_rows(self, name: str, rows: Iterable[Row]) -> int:
+        """Append rows to an existing table; returns how many were new.
+
+        The write is recorded as a retrievable per-version delta
+        (:meth:`delta_since`), covering the table itself and any alias
+        views whose key sets grow with it — derived caches maintain
+        themselves from the delta instead of rebuilding. Appending only
+        rows the table already holds is a no-op: the version counter
+        does not move and no caches are disturbed.
+        """
+        if name in self._aliases:
+            raise EvaluationError(f"cannot append to alias view {name!r}")
+        table = self._tables.get(name)
+        if table is None:
+            raise EvaluationError(f"unknown table {name!r}")
+        width = len(table.columns)
+        fresh: set[Row] = set()
+        for row in rows:
+            row = tuple(row)
+            if len(row) != width:
+                raise EvaluationError(
+                    f"row of arity {len(row)} does not fit table {name!r} "
+                    f"with columns {table.columns}"
+                )
+            if row not in table.rows:
+                fresh.add(row)
+        if not fresh:
+            return 0
+        appended: dict[str, frozenset[Row]] = {name: frozenset(fresh)}
+        if name in self._node_labels:
+            # Alias views union this table's keys: compute the genuinely
+            # new keys against the *pre-append* materialisation, then
+            # grow it in place so the view and its delta stay consistent.
+            key_index = table.columns.index("Sr")
+            new_keys = {(row[key_index],) for row in fresh}
+            for alias, members in self._aliases.items():
+                if name not in members:
+                    continue
+                view = self.table(alias)
+                alias_fresh = frozenset(new_keys - view.rows)
+                if alias_fresh:
+                    view.rows |= alias_fresh
+                    appended[alias] = alias_fresh
+        table.rows |= fresh
+        self._bump(appended)
+        return len(fresh)
+
+    def replace_table(self, table: Table) -> None:
+        """Swap an existing table's contents wholesale (barrier write).
+
+        Replacement can shrink or rewrite rows, so no append-only delta
+        exists — every cache layered over the store falls back to full
+        invalidation, exactly as before the incremental write path.
+        """
+        existing = self._tables.get(table.name)
+        if existing is None:
+            raise EvaluationError(f"unknown table {table.name!r}")
+        if existing.columns != table.columns:
+            raise EvaluationError(
+                f"table {table.name!r} has columns {existing.columns}, "
+                f"cannot replace with {table.columns}"
+            )
+        self._tables[table.name] = table
+        self._alias_tables.clear()
+        self._bump(None)
 
     def add_alias(self, name: str, member_labels: Iterable[str]) -> None:
-        """Declare a union view over node tables (e.g. Organisation)."""
+        """Declare a union view over node tables (e.g. Organisation).
+
+        Re-declaring an alias with its exact current member set is a
+        version-neutral no-op; a new alias is a barrier write.
+        """
         members = tuple(member_labels)
+        if self._aliases.get(name) == members:
+            return
         for member in members:
             if member not in self._tables:
                 raise EvaluationError(
@@ -123,7 +261,37 @@ class RelationalStore:
         if name in self._tables or name in self._aliases:
             raise EvaluationError(f"duplicate table name {name!r}")
         self._aliases[name] = members
-        self._version += 1
+        self._bump(None)
+
+    def delta_since(self, version: int) -> dict[str, frozenset[Row]] | None:
+        """The rows appended between ``version`` and the current version.
+
+        Returns a mapping ``name -> frozenset(new rows)`` covering every
+        changed table and alias view (``{}`` when nothing changed), or
+        ``None`` when the interval is not an append-only delta: a
+        barrier write occurred (new table/alias, replacement), the log
+        was truncated, the version is unknown, or incremental
+        maintenance is disabled (``REPRO_INCREMENTAL=0``).
+        """
+        if not incremental_enabled():
+            return None
+        if version == self._version:
+            return {}
+        if version > self._version or version < 0:
+            return None
+        merged: dict[str, set[Row]] = {}
+        covered = version
+        for entry_version, appended in self._delta_log:
+            if entry_version <= version:
+                continue
+            if entry_version != covered + 1 or appended is None:
+                return None
+            for name, rows in appended.items():
+                merged.setdefault(name, set()).update(rows)
+            covered = entry_version
+        if covered != self._version:
+            return None  # the log no longer reaches back to ``version``
+        return {name: frozenset(rows) for name, rows in merged.items()}
 
     # -- access -----------------------------------------------------------
     def has_table(self, name: str) -> bool:

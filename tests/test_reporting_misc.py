@@ -55,11 +55,15 @@ class TestTable:
 
 
 class TestRelationalStore:
-    def test_duplicate_table_rejected(self):
+    def test_conflicting_duplicate_table_rejected(self):
+        # Re-adding under the same name *appends* (see the incremental
+        # store tests); only shape or classification conflicts reject.
         store = RelationalStore()
         store.add_table(Table("t", ("Sr",)), node_label=True)
         with pytest.raises(Exception):
-            store.add_table(Table("t", ("Sr",)), node_label=True)
+            store.add_table(Table("t", ("Sr", "Tr")), node_label=True)
+        with pytest.raises(Exception):
+            store.add_table(Table("t", ("Sr",)), node_label=False)
 
     def test_alias_requires_members(self):
         store = RelationalStore()

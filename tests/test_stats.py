@@ -113,6 +113,14 @@ class TestFixpointGrowth:
 
 # -- StoreStatistics lifecycle ----------------------------------------------
 class TestStoreStatisticsLifecycle:
+    @pytest.fixture(autouse=True)
+    def _incremental_on(self, monkeypatch):
+        """Pin maintenance on: the carry-forward tests exercise the
+        append path itself, whatever the ambient env (the
+        REPRO_INCREMENTAL=0 CI leg falls back to barrier resets). The
+        barrier-reset test re-sets the variable to "0" per call."""
+        monkeypatch.setenv("REPRO_INCREMENTAL", "1")
+
     def test_memoisation_hits(self):
         """Counts are scanned once per snapshot, then served from memory
         (mutating Table.rows directly bypasses the version counter, so
@@ -146,6 +154,45 @@ class TestStoreStatisticsLifecycle:
         store.add_table(
             Table("other", ("Sr", "Tr"), {(7, 8)}), node_label=False
         )
+        assert store_statistics(store).observed_fixpoint_growth is None
+
+    def test_append_carries_corrections_forward(self):
+        """Append-only writes must not make the planner re-learn: the
+        successor snapshot inherits growth observations and feedback,
+        and row memos advance by exactly the delta size."""
+        store = _store()
+        first = store_statistics(store)
+        first.observe_fixpoint_growth(32.0)
+        first.record_plan_feedback("plan", 10.0, 20.0)
+        assert first.row_count("edge") == 3
+        assert first.distinct_count("edge", "Sr") == 3
+        store.add_rows("edge", [(4, 40), (5, 50)])
+        second = store_statistics(store)
+        assert second is not first
+        assert second.version == store.version
+        assert second.observed_fixpoint_growth == pytest.approx(32.0)
+        assert "plan" in second.feedback
+        assert second._rows["edge"] == 5  # memo advanced, no rescan
+        # NDV memos of changed tables are dropped and rescan lazily.
+        assert ("edge", "Sr") not in second._ndv
+        assert second.distinct_count("edge", "Sr") == 5
+
+    def test_append_keeps_unchanged_table_memos(self):
+        store = _store()
+        store.add_table(
+            Table("other", ("Sr", "Tr"), {(7, 8)}), node_label=False
+        )
+        first = store_statistics(store)
+        assert first.distinct_count("other", "Sr") == 1
+        store.add_rows("edge", [(4, 40)])
+        second = store_statistics(store)
+        assert second._ndv[("other", "Sr")] == 1
+
+    def test_barrier_still_resets_corrections(self, monkeypatch):
+        store = _store()
+        store_statistics(store).observe_fixpoint_growth(32.0)
+        monkeypatch.setenv("REPRO_INCREMENTAL", "0")
+        store.add_rows("edge", [(4, 40)])
         assert store_statistics(store).observed_fixpoint_growth is None
 
     def test_weakref_retirement(self):
