@@ -16,6 +16,12 @@ Four subcommands:
 * ``serve [FILE] [--workers N] [--max-batch K] ...`` — the same workload
   through the asyncio :class:`~repro.serve.service.QueryService`
   (bounded worker pool, admission batching).
+* ``serve --http HOST:PORT [--tenant NAME=DATASET[:SCALE]] ...`` — boot
+  the multi-tenant HTTP serving tier (:mod:`repro.server`) instead of
+  draining a file: each ``--tenant`` names a graph with its own session,
+  admission quotas (``--max-concurrent``/``--max-pending``/
+  ``--request-timeout``) and snapshot-isolated reads; ``SIGINT``/
+  ``SIGTERM`` drain in-flight requests before exiting.
 
 ``query``, ``batch`` and ``serve`` accept ``--parallelism N`` /
 ``--morsel-size M`` (morsel-driven parallel ``vec`` execution) and
@@ -158,9 +164,129 @@ def _run_batch(args: argparse.Namespace) -> int:
         return 1
 
 
+def _parse_host_port(value: str) -> tuple[str, int]:
+    host, separator, port_text = value.rpartition(":")
+    if not separator:
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {value!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid port {port_text!r} in {value!r}"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise argparse.ArgumentTypeError(f"port {port} out of range")
+    return host or "127.0.0.1", port
+
+
+def _parse_tenant_spec(value: str) -> tuple[str, str, float]:
+    """``NAME=DATASET[:SCALE]`` -> (name, dataset, scale)."""
+    name, separator, rest = value.partition("=")
+    if not separator or not name:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=DATASET[:SCALE], got {value!r}"
+        )
+    dataset, separator, scale_text = rest.partition(":")
+    if dataset not in DATASETS:
+        raise argparse.ArgumentTypeError(
+            f"unknown dataset {dataset!r} in {value!r}; "
+            f"choose from {', '.join(DATASETS)}"
+        )
+    scale = 0.5
+    if separator:
+        try:
+            scale = float(scale_text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"invalid scale {scale_text!r} in {value!r}"
+            ) from None
+    return name, dataset, scale
+
+
+def _run_http_server(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.server import (
+        HTTPGraphServer,
+        Tenant,
+        TenantQuotas,
+        TenantRegistry,
+    )
+
+    _apply_incremental_argument(args)
+    host, port = args.http
+    quotas = TenantQuotas(
+        max_concurrent=args.max_concurrent,
+        max_pending=args.max_pending,
+        timeout_seconds=args.request_timeout,
+    )
+    specs = args.tenant or [
+        (args.dataset, args.dataset, args.scale)
+    ]
+    result_cache_size = 0 if args.no_result_cache else 256
+    backend_options = _vec_backend_options(args)
+
+    registry = TenantRegistry()
+    for name, dataset, scale in specs:
+        print(f"-- loading tenant {name!r} ({dataset} @ scale {scale:g})")
+        session = _load_session(
+            dataset, scale, result_cache_size=result_cache_size
+        )
+        registry.add(
+            Tenant(
+                name,
+                session,
+                quotas,
+                backend=args.backend,
+                backend_options=backend_options,
+                planner=args.planner,
+                dataset=f"{dataset}:{scale:g}",
+            )
+        )
+
+    async def run() -> None:
+        import signal
+
+        server = HTTPGraphServer(registry, host, port)
+        await server.start()
+        print(
+            f"-- serving {len(registry)} tenant(s) on "
+            f"http://{server.host}:{server.port} (Ctrl-C drains and exits)"
+        )
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        handled: list[signal.Signals] = []
+        for signame in ("SIGINT", "SIGTERM"):
+            signum = getattr(signal, signame, None)
+            if signum is None:
+                continue
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                handled.append(signum)
+            except (NotImplementedError, RuntimeError):
+                pass  # e.g. non-unix event loops
+        try:
+            await stop.wait()
+            print("-- shutting down: draining in-flight requests")
+        finally:
+            for signum in handled:
+                loop.remove_signal_handler(signum)
+            await server.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass  # signal handler unavailable: the interrupt itself stops us
+    return 0
+
+
 def _run_batch_inner(args: argparse.Namespace) -> int:
     import json
 
+    if args.command == "serve" and args.http is not None:
+        return _run_http_server(args)
     queries = _read_batch_queries(args.file)
     if not queries:
         print(f"repro {args.command}: no queries to run", file=sys.stderr)
@@ -470,6 +596,32 @@ def main(argv: list[str] | None = None) -> int:
             sub.add_argument(
                 "--max-batch", type=int, default=16,
                 help="admission batch size cap (default 16)",
+            )
+            sub.add_argument(
+                "--http", type=_parse_host_port, default=None,
+                metavar="HOST:PORT",
+                help="serve tenants over HTTP instead of draining FILE "
+                "(port 0 binds an ephemeral port)",
+            )
+            sub.add_argument(
+                "--tenant", type=_parse_tenant_spec, action="append",
+                default=None, metavar="NAME=DATASET[:SCALE]",
+                help="register a named tenant graph (repeatable; default: "
+                "one tenant named after --dataset)",
+            )
+            sub.add_argument(
+                "--max-concurrent", type=int, default=8,
+                help="per-tenant concurrent request quota (default 8)",
+            )
+            sub.add_argument(
+                "--max-pending", type=int, default=64,
+                help="per-tenant queued request quota; breaches are "
+                "rejected with HTTP 429 (default 64)",
+            )
+            sub.add_argument(
+                "--request-timeout", type=float, default=30.0,
+                help="per-request wall-clock cap in seconds, slot wait "
+                "included; expiries answer HTTP 408 (default 30)",
             )
 
     args = parser.parse_args(argv)

@@ -398,6 +398,39 @@ class GraphSession:
             self._pattern_engine = PatternEngine(self._graph)
         return self._pattern_engine
 
+    def snapshot_session(self, version: int) -> "GraphSession | None":
+        """A session over this session's store *as of* ``version``.
+
+        The serving tier's snapshot-isolated read path: a read admitted
+        at store version ``v`` can execute after append-only writes
+        moved the store on and still see exactly the rows of ``v`` —
+        the store reconstructs the pinned view by subtracting its
+        append delta (:meth:`~repro.storage.relational.RelationalStore.
+        snapshot_at`) and this session wraps it for the relational
+        backends (``ra``/``vec``; the graph-model engines read the live
+        graph and are not snapshot-capable).
+
+        Returns ``self`` when ``version`` is current, ``None`` when no
+        append-only delta covers the interval (barrier write, truncated
+        log, maintenance disabled) — callers then fall back to the live
+        session. Snapshot sessions share nothing with the live caches
+        (fresh rewrite/plan caches, no result cache): they exist for
+        the rare read that straddled a write, not for the hot path.
+        """
+        snapshot = self.store.snapshot_at(version)
+        if snapshot is None:
+            return None
+        if snapshot is self.store:
+            return self
+        return GraphSession(
+            self._graph,
+            self._schema,
+            store=snapshot,
+            rewrite_options=self.rewrite_options,
+            result_cache_size=0,
+            planner=self.planner,
+        )
+
     def update_schema(self, schema: GraphSchema) -> None:
         """Swap the schema: derived artefacts rebuild lazily and the new
         fingerprint retires every cached rewrite and plan."""

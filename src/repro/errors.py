@@ -3,13 +3,35 @@
 Every error raised by the library derives from :class:`ReproError`, so that
 callers can catch library failures without masking programming errors
 (``TypeError`` etc. propagate unchanged).
+
+Every class carries a stable, machine-readable :attr:`ReproError.code`
+(snake_case, part of the public contract): the HTTP serving tier maps
+codes to statuses and structured JSON error bodies in exactly one place
+(:data:`repro.server.models.HTTP_STATUS_BY_CODE`), and network clients
+dispatch on the code instead of parsing human-readable messages.
+Subclasses inherit their parent's code unless they declare a more
+specific one.
 """
 
 from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    :attr:`code` is the stable machine-readable identity of the error
+    class — renaming a class must keep its code.
+    """
+
+    code: str = "internal"
+
+    def payload(self) -> dict:
+        """Structured details for serialisation (code + message + extras).
+
+        Subclasses extend the dict with their public attributes; the
+        serving tier embeds it verbatim as the JSON error body.
+        """
+        return {"code": self.code, "message": str(self)}
 
 
 class ParseError(ReproError):
@@ -19,6 +41,8 @@ class ParseError(ReproError):
         text: the full input string.
         position: 0-based offset where parsing failed (``-1`` if unknown).
     """
+
+    code = "parse_error"
 
     def __init__(self, message: str, text: str = "", position: int = -1):
         super().__init__(message)
@@ -32,22 +56,37 @@ class ParseError(ReproError):
             return f"{base}\n  {self.text}\n  {pointer}"
         return base
 
+    def payload(self) -> dict:
+        details = super().payload()
+        if self.position >= 0:
+            details["position"] = self.position
+        return details
+
 
 class SchemaError(ReproError):
     """A graph schema is malformed (unknown labels, duplicate keys, ...)."""
+
+    code = "schema_error"
 
 
 class ConsistencyError(ReproError):
     """A graph database violates its schema (Def. 3 of the paper)."""
 
+    code = "consistency_error"
+
 
 class UnknownLabelError(SchemaError):
     """An edge or node label is not declared in the schema."""
+
+    code = "unknown_label"
 
     def __init__(self, label: str, kind: str = "edge"):
         super().__init__(f"unknown {kind} label: {label!r}")
         self.label = label
         self.kind = kind
+
+    def payload(self) -> dict:
+        return {**super().payload(), "label": self.label, "kind": self.kind}
 
 
 class EmptyQueryError(ReproError):
@@ -58,13 +97,20 @@ class EmptyQueryError(ReproError):
     engines can short-circuit to an empty result.
     """
 
+    code = "empty_query"
+
 
 class QueryTimeout(ReproError):
     """A cooperative evaluation deadline expired (paper: 30-minute cap)."""
 
+    code = "timeout"
+
     def __init__(self, budget_seconds: float):
         super().__init__(f"query exceeded the {budget_seconds:.3g}s time budget")
         self.budget_seconds = budget_seconds
+
+    def payload(self) -> dict:
+        return {**super().payload(), "budget_seconds": self.budget_seconds}
 
 
 class TranslationError(ReproError):
@@ -74,6 +120,77 @@ class TranslationError(ReproError):
     Cypher supports (paper §4, §5.5).
     """
 
+    code = "translation_error"
+
 
 class EvaluationError(ReproError):
     """An engine failed while evaluating a query (internal invariant broken)."""
+
+    code = "evaluation_error"
+
+
+class RequestError(ReproError):
+    """A serving-tier request is malformed (missing/ill-typed fields,
+    unknown backend name, oversized batch, unparseable JSON body)."""
+
+    code = "bad_request"
+
+    def __init__(self, message: str, field: str | None = None):
+        super().__init__(message)
+        self.field = field
+
+    def payload(self) -> dict:
+        details = super().payload()
+        if self.field is not None:
+            details["field"] = self.field
+        return details
+
+
+class UnknownTenantError(ReproError):
+    """A request addressed a tenant the registry does not manage."""
+
+    code = "unknown_tenant"
+
+    def __init__(self, tenant: str):
+        super().__init__(f"unknown tenant {tenant!r}")
+        self.tenant = tenant
+
+    def payload(self) -> dict:
+        return {**super().payload(), "tenant": self.tenant}
+
+
+class QuotaExceededError(ReproError):
+    """A tenant's admission quota rejected the request (HTTP 429).
+
+    ``quota`` names the breached limit (``max_concurrent`` /
+    ``max_pending``) and ``limit`` its configured value.
+    """
+
+    code = "quota_exceeded"
+
+    def __init__(self, tenant: str, quota: str, limit: int):
+        super().__init__(
+            f"tenant {tenant!r} exceeded its {quota} quota of {limit}"
+        )
+        self.tenant = tenant
+        self.quota = quota
+        self.limit = limit
+
+    def payload(self) -> dict:
+        return {
+            **super().payload(),
+            "tenant": self.tenant,
+            "quota": self.quota,
+            "limit": self.limit,
+        }
+
+
+class ServiceClosedError(ReproError, RuntimeError):
+    """A submission reached a :class:`~repro.serve.service.QueryService`
+    that is shutting down (or already shut down).
+
+    Also a :class:`RuntimeError` so pre-taxonomy callers that caught the
+    old generic error keep working.
+    """
+
+    code = "service_closed"

@@ -40,7 +40,7 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.engine.session import GraphSession
-from repro.errors import QueryTimeout
+from repro.errors import QueryTimeout, ServiceClosedError
 from repro.query.model import UCQT
 from repro.query.parser import parse_query
 from repro.serve.batch import BatchOutcome, execute_batch
@@ -116,21 +116,24 @@ class QueryService:
         #: model and its adaptive corrections.
         self.planner = planner
         self.stats = ServiceStats()
-        # Pending requests, grouped by the schema fingerprint they were
-        # submitted under; OrderedDict keeps fingerprint arrival order so
-        # draining is fair across a schema change.
-        self._pending: "OrderedDict[str, deque[_Request]]" = OrderedDict()
+        # Pending requests, grouped by the admission key (by default the
+        # schema fingerprint) they were submitted under; OrderedDict
+        # keeps key arrival order so draining is fair across a schema
+        # change.
+        self._pending: "OrderedDict[object, deque[_Request]]" = OrderedDict()
         self._pending_count = 0
         self._wakeup: asyncio.Condition | None = None
         self._tasks: list[asyncio.Task] = []
         self._session_lock = threading.Lock()
         self._closed = False
+        self._was_closed = False
 
     # -- lifecycle ---------------------------------------------------------
     async def start(self) -> "QueryService":
         if self._tasks:
             return self
         self._closed = False
+        self._was_closed = False
         self._wakeup = asyncio.Condition()
         self._tasks = [
             asyncio.create_task(self._worker(), name=f"query-service-{i}")
@@ -139,13 +142,38 @@ class QueryService:
         return self
 
     async def close(self) -> None:
-        """Drain every accepted request, then stop the workers."""
+        """Graceful shutdown: drain every accepted request, then stop.
+
+        New submissions are rejected with
+        :class:`~repro.errors.ServiceClosedError` the moment close
+        begins (including submitters blocked on backpressure); the
+        workers keep draining until every already-accepted request has
+        its rows or its error. Any request still pending after the
+        workers stopped (a worker task died or was cancelled from
+        outside) is failed with the same error rather than abandoned —
+        no future ever dangles past ``close()``.
+        """
         if self._wakeup is None:
             return
         self._closed = True
+        self._was_closed = True
         async with self._wakeup:
             self._wakeup.notify_all()
         await asyncio.gather(*self._tasks, return_exceptions=True)
+        leftovers = [
+            request
+            for queue in self._pending.values()
+            for request in queue
+        ]
+        self._pending.clear()
+        self._pending_count = 0
+        for request in leftovers:
+            if not request.future.done():
+                request.future.set_exception(
+                    ServiceClosedError(
+                        "QueryService closed before this request was served"
+                    )
+                )
         self._tasks = []
         self._wakeup = None
 
@@ -157,8 +185,15 @@ class QueryService:
 
     # -- the front door ----------------------------------------------------
     async def submit(self, query: UCQT | str) -> frozenset[tuple]:
-        """Enqueue one query; resolves with its rows once its batch ran."""
+        """Enqueue one query; resolves with its rows once its batch ran.
+
+        Raises :class:`~repro.errors.ServiceClosedError` once
+        :meth:`close` has begun — accepted requests drain, new ones are
+        rejected immediately.
+        """
         if self._wakeup is None:
+            if self._was_closed:
+                raise ServiceClosedError("QueryService is closed")
             raise RuntimeError(
                 "QueryService is not running; use 'async with' or start()"
             )
@@ -170,12 +205,12 @@ class QueryService:
         async with self._wakeup:
             while self._pending_count >= self.max_pending:
                 if self._closed:
-                    raise RuntimeError("QueryService is closing")
+                    raise ServiceClosedError("QueryService is closing")
                 await self._wakeup.wait()
             if self._closed:
-                raise RuntimeError("QueryService is closing")
-            fingerprint = self.session.schema_fingerprint
-            self._pending.setdefault(fingerprint, deque()).append(request)
+                raise ServiceClosedError("QueryService is closing")
+            key = self._admission_key()
+            self._pending.setdefault(key, deque()).append(request)
             self._pending_count += 1
             self.stats.submitted += 1
             self._wakeup.notify_all()
@@ -189,6 +224,17 @@ class QueryService:
             await asyncio.gather(*(self.submit(query) for query in queries))
         )
 
+    # -- admission ---------------------------------------------------------
+    def _admission_key(self) -> object:
+        """The bucket a submission is filed under (hashable).
+
+        Requests only share a batch when their keys are equal. The base
+        service groups by the session's schema fingerprint at submission
+        time; the HTTP tier's subclass extends the key with the store
+        version, which is what pins snapshot-isolated reads.
+        """
+        return self.session.schema_fingerprint
+
     # -- workers -----------------------------------------------------------
     async def _worker(self) -> None:
         assert self._wakeup is not None
@@ -198,25 +244,25 @@ class QueryService:
                     await self._wakeup.wait()
                 if not self._pending and self._closed:
                     return
-                batch = self._drain_one_fingerprint()
+                key, batch = self._drain_one_key()
                 self._pending_count -= len(batch)
                 self._wakeup.notify_all()  # room for blocked submitters
-            await self._run_batch(batch)
+            await self._run_batch(key, batch)
 
-    def _drain_one_fingerprint(self) -> list[_Request]:
-        """Up to ``max_batch_size`` requests of the oldest fingerprint."""
-        fingerprint, queue = next(iter(self._pending.items()))
+    def _drain_one_key(self) -> tuple[object, list[_Request]]:
+        """Up to ``max_batch_size`` requests of the oldest admission key."""
+        key, queue = next(iter(self._pending.items()))
         batch = [
             queue.popleft()
             for _ in range(min(self.max_batch_size, len(queue)))
         ]
         if not queue:
-            del self._pending[fingerprint]
-        return batch
+            del self._pending[key]
+        return key, batch
 
-    async def _run_batch(self, batch: list[_Request]) -> None:
+    async def _run_batch(self, key: object, batch: list[_Request]) -> None:
         try:
-            outcome = await self._execute([r.query for r in batch])
+            outcome = await self._execute([r.query for r in batch], key)
         except QueryTimeout as error:
             # The budget bounds the *batch*; retrying its requests one
             # by one with fresh budgets would multiply the very work the
@@ -229,7 +275,7 @@ class QueryService:
             # One bad request (unknown label, strict-schema violation,
             # ...) must not fail its batch peers: retry each request on
             # its own so every future gets *its* rows or *its* error.
-            await self._run_requests_individually(batch)
+            await self._run_requests_individually(key, batch)
             return
         self.stats.batches += 1
         self.stats.batched_queries += outcome.report.queries
@@ -239,7 +285,12 @@ class QueryService:
                 request.future.set_result(rows)
                 self.stats.completed += 1
 
-    async def _execute(self, queries: list[UCQT]) -> BatchOutcome:
+    async def _execute(
+        self, queries: list[UCQT], key: object = None
+    ) -> BatchOutcome:
+        """Run one admission batch. ``key`` is the batch's admission key
+        (subclasses route on it — e.g. to a snapshot session); the base
+        service always executes against the live session."""
         def run() -> BatchOutcome:
             with self._session_lock:
                 return execute_batch(
@@ -257,10 +308,12 @@ class QueryService:
         # e.g. sqlite: its connection must stay on one thread
         return run()
 
-    async def _run_requests_individually(self, batch: list[_Request]) -> None:
+    async def _run_requests_individually(
+        self, key: object, batch: list[_Request]
+    ) -> None:
         for request in batch:
             try:
-                outcome = await self._execute([request.query])
+                outcome = await self._execute([request.query], key)
             except Exception as error:
                 if not request.future.cancelled():
                     request.future.set_exception(error)

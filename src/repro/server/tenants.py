@@ -1,0 +1,541 @@
+"""Tenancy: named graphs, admission quotas, snapshot-isolated reads.
+
+Each :class:`Tenant` owns one :class:`~repro.engine.session.GraphSession`
+and one :class:`TenantQueryService` (the admission batcher). Two layers
+guard a request on its way to execution:
+
+1. **the quota gate** — a per-tenant semaphore sized
+   ``max_concurrent``, with at most ``max_pending`` requests allowed to
+   wait for a slot and a per-request deadline. Breaches surface as
+   :class:`~repro.errors.QuotaExceededError` (HTTP 429) or
+   :class:`~repro.errors.QueryTimeout` (HTTP 408) *before* the request
+   touches the batcher, so one tenant's burst cannot occupy another
+   tenant's service.
+2. **the admission batcher** — the tenant's service is sized so the
+   quota gate is the only place requests ever queue
+   (``max_pending == max_concurrent``); whatever the gate admits is
+   accepted immediately.
+
+**Snapshot isolation.** :class:`TenantQueryService` extends the
+admission key with the store version current at submission, so every
+batch is homogeneous in the version its requests observed. When a batch
+executes *after* append-only writes moved the store on, the service
+routes it to a pinned read view rebuilt by
+:meth:`~repro.storage.relational.RelationalStore.snapshot_at` instead
+of the live session — reads never see a torn half-write and never see
+rows from a version newer than their admission. Snapshot views exist
+for the relational backends (``ra``/``vec``, the only engines that read
+the store); other backends fall back to the live session and the
+``snapshot_fallbacks`` counter says so.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from dataclasses import asdict, dataclass, field
+from typing import Iterator, Mapping
+
+from repro.engine.session import GraphSession
+from repro.errors import (
+    QueryTimeout,
+    QuotaExceededError,
+    ReproError,
+    RequestError,
+    UnknownTenantError,
+)
+from repro.serve.batch import BatchOutcome, execute_batch
+from repro.serve.service import _THREAD_SAFE_BACKENDS, QueryService
+from repro.server.models import (
+    BatchRequest,
+    ExplainRequest,
+    QueryRequest,
+    WriteRequest,
+    rows_payload,
+)
+
+#: Backends that evaluate against ``session.store`` and therefore have a
+#: meaningful pinned view; the rest derive state from the graph object
+#: and fall back to the live session.
+_SNAPSHOT_BACKENDS = frozenset({"ra", "vec"})
+
+
+@dataclass(frozen=True)
+class TenantQuotas:
+    """Admission limits for one tenant.
+
+    ``max_concurrent`` requests may execute at once; ``max_pending``
+    more may wait for a slot; each request gets at most
+    ``timeout_seconds`` of wall clock (slot wait included) — a smaller
+    per-request ``timeout_seconds`` is honoured, a larger one clamped.
+    """
+
+    max_concurrent: int = 8
+    max_pending: int = 64
+    timeout_seconds: float = 30.0
+
+    def __post_init__(self):
+        if self.max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if self.max_pending < 0:
+            raise ValueError("max_pending must be >= 0")
+        if self.timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be positive")
+
+    def clamp(self, requested: float | None) -> float:
+        return (
+            self.timeout_seconds
+            if requested is None
+            else min(requested, self.timeout_seconds)
+        )
+
+
+@dataclass
+class TenantMetrics:
+    """Request-level counters for one tenant (all lifetime totals)."""
+
+    requests_total: int = 0
+    completed: int = 0
+    rejected_quota: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    writes: int = 0
+    rows_appended: int = 0
+
+
+class TenantQueryService(QueryService):
+    """A :class:`QueryService` whose batches are store-version-homogeneous.
+
+    The admission key is ``(schema_fingerprint, store.version)``; at
+    execution time the batch is routed to a session pinned at exactly
+    the version its requests were admitted under. Pinned sessions are
+    cached per ``(pinned, live)`` version pair — the live half matters
+    because a snapshot shares unchanged tables with the live store *by
+    reference*, so the moment another write lands, a previously built
+    view could watch shared tables mutate; keying on the live version
+    retires it instead. All routing happens under ``_session_lock``,
+    the same lock every execution and write holds.
+    """
+
+    def __init__(
+        self,
+        session: GraphSession,
+        backend: str = "vec",
+        *,
+        snapshot_cache_size: int = 4,
+        **kwargs,
+    ):
+        super().__init__(session, backend, **kwargs)
+        self._snapshot_cache_size = snapshot_cache_size
+        self._snapshots: "OrderedDict[tuple[int, int], GraphSession]" = (
+            OrderedDict()
+        )
+        self.snapshot_reads = 0
+        self.snapshot_fallbacks = 0
+        self.snapshot_sessions_built = 0
+
+    def _admission_key(self) -> object:
+        return (self.session.schema_fingerprint, self.session.store.version)
+
+    async def _execute(
+        self, queries: list, key: object = None
+    ) -> BatchOutcome:
+        def run() -> BatchOutcome:
+            with self._session_lock:
+                session = self._session_for(key)
+                return execute_batch(
+                    session,
+                    queries,
+                    self.backend,
+                    timeout_seconds=self.timeout_seconds,
+                    rewrite=self.rewrite,
+                    backend_options=self.backend_options,
+                    planner=self.planner,
+                )
+
+        if self.backend in _THREAD_SAFE_BACKENDS:
+            return await asyncio.to_thread(run)
+        return run()
+
+    def _session_for(self, key: object) -> GraphSession:
+        """The session a batch admitted under ``key`` must run on.
+
+        Caller holds ``_session_lock`` — nothing can move the store
+        version between the checks below and the batch's execution.
+        """
+        if not (isinstance(key, tuple) and len(key) == 2):
+            return self.session
+        pinned = key[1]
+        live = self.session.store.version
+        if pinned == live:
+            return self.session
+        if self.backend not in _SNAPSHOT_BACKENDS:
+            self.snapshot_fallbacks += 1
+            return self.session
+        cache_key = (pinned, live)
+        cached = self._snapshots.get(cache_key)
+        if cached is not None:
+            self._snapshots.move_to_end(cache_key)
+            self.snapshot_reads += 1
+            return cached
+        snapshot = self.session.snapshot_session(pinned)
+        if snapshot is None or snapshot is self.session:
+            # A non-append write barrier (or a truncated delta log)
+            # means the pinned view is unreconstructable; the live
+            # session is the best available answer.
+            self.snapshot_fallbacks += 1
+            return self.session
+        self.snapshot_sessions_built += 1
+        self._snapshots[cache_key] = snapshot
+        while len(self._snapshots) > self._snapshot_cache_size:
+            _, evicted = self._snapshots.popitem(last=False)
+            evicted.close()
+        self.snapshot_reads += 1
+        return snapshot
+
+    async def close(self) -> None:
+        await super().close()
+        for snapshot in self._snapshots.values():
+            snapshot.close()
+        self._snapshots.clear()
+
+
+class Tenant:
+    """One named graph: a session, its service, quotas and counters."""
+
+    def __init__(
+        self,
+        name: str,
+        session: GraphSession,
+        quotas: TenantQuotas | None = None,
+        *,
+        backend: str = "vec",
+        backend_options: Mapping | None = None,
+        planner: str | None = None,
+        dataset: str | None = None,
+    ):
+        self.name = name
+        self.session = session
+        self.quotas = quotas or TenantQuotas()
+        self.metrics = TenantMetrics()
+        self.dataset = dataset
+        self.backend = backend
+        self.service = TenantQueryService(
+            session,
+            backend,
+            # The quota gate is the only queue: the service accepts
+            # whatever the gate admits, immediately.
+            max_pending=self.quotas.max_concurrent,
+            timeout_seconds=self.quotas.timeout_seconds,
+            backend_options=backend_options,
+            planner=planner,
+        )
+        self._slots = asyncio.Semaphore(self.quotas.max_concurrent)
+        self._active = 0
+        self._waiting = 0
+
+    # -- admission (the quota gate) ----------------------------------------
+    async def _admit(self, timeout_seconds: float) -> None:
+        if self._slots.locked():
+            if self._waiting >= self.quotas.max_pending:
+                raise QuotaExceededError(
+                    self.name, "max_pending", self.quotas.max_pending
+                )
+            self._waiting += 1
+            try:
+                await asyncio.wait_for(
+                    self._slots.acquire(), timeout_seconds
+                )
+            except (asyncio.TimeoutError, TimeoutError):
+                raise QueryTimeout(timeout_seconds) from None
+            finally:
+                self._waiting -= 1
+        else:
+            await self._slots.acquire()
+        self._active += 1
+
+    def _release(self) -> None:
+        self._active -= 1
+        self._slots.release()
+
+    async def _guard(self, op):
+        """Run one op coroutine, translating outcomes into counters."""
+        self.metrics.requests_total += 1
+        try:
+            result = await op
+            self.metrics.completed += 1
+            return result
+        except QuotaExceededError:
+            self.metrics.rejected_quota += 1
+            raise
+        except QueryTimeout:
+            self.metrics.timeouts += 1
+            raise
+        except ReproError:
+            self.metrics.errors += 1
+            raise
+
+    def _uses_service_shape(self, request) -> bool:
+        """Whether a request matches the service's fixed configuration.
+
+        Only such requests go through the admission batcher (and its
+        snapshot routing); anything bespoke executes directly under the
+        same session lock.
+        """
+        return (
+            request.backend == self.service.backend
+            and request.rewrite == self.service.rewrite
+            and (request.planner is None
+                 or request.planner == self.service.planner)
+        )
+
+    # -- operations --------------------------------------------------------
+    async def query(self, request: QueryRequest) -> dict:
+        return await self._guard(self._query(request))
+
+    async def _query(self, request: QueryRequest) -> dict:
+        timeout = self.quotas.clamp(request.timeout_seconds)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        await self._admit(timeout)
+        try:
+            admitted_version = self.session.store.version
+            if self._uses_service_shape(request):
+                rows = await self._await_with_deadline(
+                    self.service.submit(request.query), deadline, timeout
+                )
+            else:
+                rows = await self._execute_direct(request, deadline)
+            return {
+                "tenant": self.name,
+                "backend": request.backend,
+                "store_version": admitted_version,
+                "row_count": len(rows),
+                "rows": rows_payload(rows),
+            }
+        finally:
+            self._release()
+
+    async def batch(self, request: BatchRequest) -> dict:
+        return await self._guard(self._batch(request))
+
+    async def _batch(self, request: BatchRequest) -> dict:
+        timeout = self.quotas.clamp(request.timeout_seconds)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        await self._admit(timeout)
+        try:
+            admitted_version = self.session.store.version
+            if self._uses_service_shape(request):
+                results = await self._await_with_deadline(
+                    self.service.map(list(request.queries)),
+                    deadline,
+                    timeout,
+                )
+            else:
+                budget = max(deadline - loop.time(), 0.001)
+
+                def run() -> list[frozenset]:
+                    with self.service._session_lock:
+                        return self.session.execute_batch(
+                            list(request.queries),
+                            request.backend,
+                            timeout_seconds=budget,
+                            rewrite=request.rewrite,
+                            planner=request.planner,
+                        )
+
+                results = await self._offload(request.backend, run)
+            return {
+                "tenant": self.name,
+                "backend": request.backend,
+                "store_version": admitted_version,
+                "queries": len(results),
+                "row_counts": [len(rows) for rows in results],
+                "results": [rows_payload(rows) for rows in results],
+            }
+        finally:
+            self._release()
+
+    async def write(self, request: WriteRequest) -> dict:
+        return await self._guard(self._write(request))
+
+    async def _write(self, request: WriteRequest) -> dict:
+        timeout = self.quotas.timeout_seconds
+        await self._admit(timeout)
+        try:
+            store = self.session.store
+            if request.table in store.aliases:
+                raise RequestError(
+                    f"{request.table!r} is an alias view; append to one of "
+                    "its member tables instead",
+                    field="table",
+                )
+            if not store.has_table(request.table):
+                raise RequestError(
+                    f"unknown table {request.table!r}", field="table"
+                )
+            arity = len(store.table(request.table).columns)
+            for index, row in enumerate(request.rows):
+                if len(row) != arity:
+                    raise RequestError(
+                        f"rows[{index}] has {len(row)} values; table "
+                        f"{request.table!r} has {arity} columns",
+                        field="rows",
+                    )
+
+            def run() -> tuple[int, int]:
+                # The same lock every read batch executes under: a write
+                # can never interleave with a half-finished read.
+                with self.service._session_lock:
+                    added = store.add_rows(request.table, request.rows)
+                    return added, store.version
+
+            added, version = await asyncio.to_thread(run)
+            self.metrics.writes += 1
+            self.metrics.rows_appended += added
+            return {
+                "tenant": self.name,
+                "table": request.table,
+                "rows_received": len(request.rows),
+                "rows_added": added,
+                "store_version": version,
+            }
+        finally:
+            self._release()
+
+    async def explain(self, request: ExplainRequest) -> dict:
+        return await self._guard(self._explain(request))
+
+    async def _explain(self, request: ExplainRequest) -> dict:
+        await self._admit(self.quotas.timeout_seconds)
+        try:
+            def run() -> str:
+                with self.service._session_lock:
+                    return self.session.explain(
+                        request.query,
+                        request.backend,
+                        rewrite=request.rewrite,
+                        planner=request.planner,
+                    )
+
+            plan = await self._offload(request.backend, run)
+            return {
+                "tenant": self.name,
+                "backend": request.backend,
+                "plan": plan,
+            }
+        finally:
+            self._release()
+
+    # -- execution helpers -------------------------------------------------
+    async def _await_with_deadline(self, awaitable, deadline, timeout):
+        loop = asyncio.get_running_loop()
+        remaining = max(deadline - loop.time(), 0.001)
+        try:
+            return await asyncio.wait_for(awaitable, remaining)
+        except (asyncio.TimeoutError, TimeoutError):
+            raise QueryTimeout(timeout) from None
+
+    async def _execute_direct(
+        self, request: QueryRequest, deadline: float
+    ) -> frozenset:
+        """Run a bespoke-configuration request outside the batcher
+        (still serialised with it via the session lock)."""
+        loop = asyncio.get_running_loop()
+        budget = max(deadline - loop.time(), 0.001)
+
+        def run() -> frozenset:
+            with self.service._session_lock:
+                return self.session.execute(
+                    request.query,
+                    request.backend,
+                    timeout_seconds=budget,
+                    rewrite=request.rewrite,
+                    planner=request.planner,
+                )
+
+        return await self._offload(request.backend, run)
+
+    async def _offload(self, backend: str, fn):
+        """Run ``fn`` off-loop when the backend tolerates worker threads
+        (sqlite's connection is pinned to its creating thread)."""
+        if backend in _THREAD_SAFE_BACKENDS:
+            return await asyncio.to_thread(fn)
+        return fn()
+
+    # -- introspection -----------------------------------------------------
+    def metrics_payload(self) -> dict:
+        session = self.session
+        service = self.service
+        store = session.store
+        return {
+            "dataset": self.dataset,
+            "backend": self.backend,
+            "quotas": asdict(self.quotas),
+            "requests": asdict(self.metrics),
+            "admission": {
+                "active": self._active,
+                "waiting": self._waiting,
+            },
+            "service": {
+                **asdict(service.stats),
+                "mean_batch_size": round(service.stats.mean_batch_size, 3),
+            },
+            "snapshots": {
+                "reads": service.snapshot_reads,
+                "fallbacks": service.snapshot_fallbacks,
+                "sessions_built": service.snapshot_sessions_built,
+                "cached": len(service._snapshots),
+            },
+            "caches": {
+                name: asdict(stats)
+                for name, stats in session.cache_stats.items()
+            },
+            "planner": session.planner_stats,
+            "store": {**store.stats(), "version": store.version},
+        }
+
+
+class TenantRegistry:
+    """The set of tenants one server instance manages."""
+
+    def __init__(self):
+        self._tenants: "dict[str, Tenant]" = {}
+
+    def add(self, tenant: Tenant) -> Tenant:
+        if tenant.name in self._tenants:
+            raise ValueError(f"tenant {tenant.name!r} already registered")
+        self._tenants[tenant.name] = tenant
+        return tenant
+
+    def get(self, name: str) -> Tenant:
+        try:
+            return self._tenants[name]
+        except KeyError:
+            raise UnknownTenantError(name) from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._tenants)
+
+    def __iter__(self) -> Iterator[Tenant]:
+        return iter(self._tenants.values())
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    async def start_all(self) -> None:
+        for tenant in self:
+            await tenant.service.start()
+
+    async def close_all(self) -> None:
+        for tenant in self:
+            await tenant.service.close()
+            tenant.session.close()
+
+    def metrics_payload(self) -> dict:
+        return {
+            "tenants": {
+                tenant.name: tenant.metrics_payload() for tenant in self
+            }
+        }

@@ -80,6 +80,10 @@ class RelationalStore:
         self._node_labels: set[str] = set()
         self._edge_labels: set[str] = set()
         self._version = 0
+        #: True on stores produced by :meth:`snapshot_at` — every write
+        #: entry point rejects mutation, so a pinned read view can never
+        #: drift from the version it reconstructs.
+        self._frozen = False
         #: ``(version_after, appended)`` per write. ``appended`` maps
         #: table/alias name -> the genuinely-new rows of that write; a
         #: ``None`` entry is a *barrier* (new table, new alias view,
@@ -100,6 +104,13 @@ class RelationalStore:
         ``add_table``/``add_rows`` instead.
         """
         return self._version
+
+    def _assert_writable(self) -> None:
+        if self._frozen:
+            raise EvaluationError(
+                f"store snapshot {self.name!r} is a read-only view pinned "
+                f"at version {self._version}; write to the live store"
+            )
 
     def _bump(self, appended: dict[str, frozenset[Row]] | None) -> None:
         """Advance the version; ``appended`` of None records a barrier."""
@@ -154,6 +165,7 @@ class RelationalStore:
         shape mismatch is rejected. A genuinely new table is a barrier
         write: caches cannot be maintained across it.
         """
+        self._assert_writable()
         existing = self._tables.get(table.name)
         if existing is not None:
             if existing.columns != table.columns:
@@ -188,6 +200,7 @@ class RelationalStore:
         rows the table already holds is a no-op: the version counter
         does not move and no caches are disturbed.
         """
+        self._assert_writable()
         if name in self._aliases:
             raise EvaluationError(f"cannot append to alias view {name!r}")
         table = self._tables.get(name)
@@ -232,6 +245,7 @@ class RelationalStore:
         exists — every cache layered over the store falls back to full
         invalidation, exactly as before the incremental write path.
         """
+        self._assert_writable()
         existing = self._tables.get(table.name)
         if existing is None:
             raise EvaluationError(f"unknown table {table.name!r}")
@@ -253,6 +267,7 @@ class RelationalStore:
         members = tuple(member_labels)
         if self._aliases.get(name) == members:
             return
+        self._assert_writable()
         for member in members:
             if member not in self._tables:
                 raise EvaluationError(
@@ -292,6 +307,54 @@ class RelationalStore:
         if covered != self._version:
             return None  # the log no longer reaches back to ``version``
         return {name: frozenset(rows) for name, rows in merged.items()}
+
+    def snapshot_at(self, version: int) -> "RelationalStore | None":
+        """A read-only view of this store as of ``version``.
+
+        The snapshot-isolated read path of the serving tier: a read
+        admitted at version ``v`` can still be answered over exactly the
+        rows that existed at ``v`` after append-only writes moved the
+        store on, by *subtracting* the append delta
+        (:meth:`delta_since`) from the changed tables. Unchanged tables
+        are shared with the live store by reference — callers must not
+        interleave live writes with reads of a snapshot (the serving
+        tier serialises both on one lock and discards snapshots as soon
+        as the live version moves again).
+
+        Returns ``self`` when ``version`` is current (the live store
+        *is* the snapshot), a frozen reconstructed store otherwise, or
+        ``None`` when no append-only delta covers the interval (barrier
+        write, truncated log, unknown version, or incremental
+        maintenance disabled) — the caller must then fall back to the
+        live version.
+        """
+        if version == self._version:
+            return self
+        deltas = self.delta_since(version)
+        if deltas is None:
+            return None
+        snapshot = RelationalStore(f"{self.name}@v{version}")
+        snapshot._tables = {
+            name: (
+                Table(name, table.columns, set(table.rows) - deltas[name])
+                if name in deltas
+                else table
+            )
+            for name, table in self._tables.items()
+        }
+        # Alias views re-materialise lazily from the rolled-back member
+        # tables, so delta entries for alias names need no handling here.
+        snapshot._aliases = dict(self._aliases)
+        snapshot._node_labels = set(self._node_labels)
+        snapshot._edge_labels = set(self._edge_labels)
+        snapshot._version = version
+        snapshot._frozen = True
+        return snapshot
+
+    @property
+    def is_snapshot(self) -> bool:
+        """True on read-only views produced by :meth:`snapshot_at`."""
+        return self._frozen
 
     # -- access -----------------------------------------------------------
     def has_table(self, name: str) -> bool:

@@ -1,0 +1,143 @@
+"""The unified error taxonomy: stable codes, payloads, HTTP mapping."""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import (
+    ConsistencyError,
+    EmptyQueryError,
+    EvaluationError,
+    ParseError,
+    QueryTimeout,
+    QuotaExceededError,
+    ReproError,
+    RequestError,
+    SchemaError,
+    ServiceClosedError,
+    TranslationError,
+    UnknownLabelError,
+    UnknownTenantError,
+)
+from repro.server.models import HTTP_STATUS_BY_CODE, error_response
+
+
+def _all_error_classes() -> list[type]:
+    return [
+        obj
+        for _, obj in inspect.getmembers(errors_module, inspect.isclass)
+        if issubclass(obj, ReproError)
+    ]
+
+
+class TestCodes:
+    def test_every_error_class_declares_a_code(self):
+        for cls in _all_error_classes():
+            assert isinstance(cls.code, str) and cls.code, cls
+
+    def test_codes_are_snake_case(self):
+        for cls in _all_error_classes():
+            assert cls.code == cls.code.lower()
+            assert " " not in cls.code
+
+    def test_distinct_leaf_codes(self):
+        # Subclasses may share their parent's code only by inheriting
+        # it; every *declared* code is unique.
+        declared = [
+            cls.__dict__["code"]
+            for cls in _all_error_classes()
+            if "code" in cls.__dict__
+        ]
+        assert len(declared) == len(set(declared))
+
+    def test_every_code_has_an_http_status(self):
+        for cls in _all_error_classes():
+            assert cls.code in HTTP_STATUS_BY_CODE, cls
+
+
+class TestPayloads:
+    def test_base_payload_has_code_and_message(self):
+        payload = EvaluationError("boom").payload()
+        assert payload == {"code": "evaluation_error", "message": "boom"}
+
+    def test_parse_error_carries_position(self):
+        payload = ParseError("bad", text="x <- y", position=3).payload()
+        assert payload["code"] == "parse_error"
+        assert payload["position"] == 3
+
+    def test_unknown_label_carries_label_and_kind(self):
+        payload = UnknownLabelError("KNOWS", kind="edge").payload()
+        assert payload["label"] == "KNOWS"
+        assert payload["kind"] == "edge"
+
+    def test_timeout_carries_budget(self):
+        payload = QueryTimeout(1.5).payload()
+        assert payload["code"] == "timeout"
+        assert payload["budget_seconds"] == 1.5
+
+    def test_request_error_carries_field(self):
+        assert RequestError("bad", field="rows").payload()["field"] == "rows"
+        assert "field" not in RequestError("bad").payload()
+
+    def test_quota_error_names_the_breached_limit(self):
+        payload = QuotaExceededError("acme", "max_pending", 64).payload()
+        assert payload["tenant"] == "acme"
+        assert payload["quota"] == "max_pending"
+        assert payload["limit"] == 64
+
+    def test_unknown_tenant_carries_tenant(self):
+        assert UnknownTenantError("ghost").payload()["tenant"] == "ghost"
+
+    def test_payloads_are_json_safe(self):
+        import json
+
+        for error in (
+            ParseError("p", "t", 0),
+            SchemaError("s"),
+            ConsistencyError("c"),
+            UnknownLabelError("L"),
+            EmptyQueryError("e"),
+            QueryTimeout(2.0),
+            TranslationError("t"),
+            EvaluationError("v"),
+            RequestError("r", field="f"),
+            UnknownTenantError("x"),
+            QuotaExceededError("x", "max_concurrent", 1),
+            ServiceClosedError("closed"),
+        ):
+            json.dumps(error.payload())
+
+
+class TestHTTPMapping:
+    @pytest.mark.parametrize(
+        "error,status",
+        [
+            (RequestError("bad"), 400),
+            (ParseError("bad"), 400),
+            (UnknownLabelError("L"), 400),
+            (EmptyQueryError("e"), 400),
+            (UnknownTenantError("ghost"), 404),
+            (QueryTimeout(1.0), 408),
+            (ConsistencyError("c"), 409),
+            (QuotaExceededError("t", "max_pending", 8), 429),
+            (EvaluationError("v"), 500),
+            (ServiceClosedError("closing"), 503),
+        ],
+    )
+    def test_status_by_error(self, error, status):
+        got_status, body = error_response(error)
+        assert got_status == status
+        assert body["error"]["code"] == error.code
+
+    def test_foreign_exceptions_are_opaque_500s(self):
+        status, body = error_response(ValueError("oops"))
+        assert status == 500
+        assert body["error"]["code"] == "internal"
+        assert "ValueError" in body["error"]["message"]
+
+    def test_service_closed_is_still_a_runtime_error(self):
+        # Pre-taxonomy callers caught RuntimeError; keep that working.
+        assert isinstance(ServiceClosedError("x"), RuntimeError)
