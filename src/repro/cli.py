@@ -1,6 +1,6 @@
 """Command-line entry point (``python -m repro`` or the installed scripts).
 
-Four subcommands:
+Five subcommands:
 
 * ``bench <experiment> [--full] [--engine E]`` — reproduce the paper's
   tables and figures (experiments: table3, table5, table6, fig12, fig13,
@@ -16,6 +16,13 @@ Four subcommands:
 * ``serve [FILE] [--workers N] [--max-batch K] ...`` — the same workload
   through the asyncio :class:`~repro.serve.service.QueryService`
   (bounded worker pool, admission batching).
+* ``calibrate [FILE] [--backends B1,B2] [-o PATH]`` — measure a
+  workload on several backends, least-squares fit each backend's
+  :class:`~repro.planner.cost.CostProfile` from the telemetry and write
+  the fitted state (plus its Q-error snapshot) to JSON. ``query``,
+  ``batch`` and ``serve`` boot from that file via ``--calibration
+  PATH``, and ``--backend auto`` then picks the cheapest substrate per
+  query on the calibrated, seconds-scale costs.
 * ``serve --http HOST:PORT [--tenant NAME=DATASET[:SCALE]] ...`` — boot
   the multi-tenant HTTP serving tier (:mod:`repro.server`) instead of
   draining a file: each ``--tenant`` names a graph with its own session,
@@ -59,11 +66,41 @@ def _backend_argument(value: str) -> str:
     """Validate a backend name against the live registry at parse time,
     so a typo fails with the registered names instead of deep inside the
     session after the dataset has been generated."""
+    if value == "auto":
+        # Not a registered backend: the session's (calibrated) cost
+        # model picks the concrete substrate per query.
+        return value
     names = _backend_names()
     if value not in names:
         raise argparse.ArgumentTypeError(
             f"unknown backend {value!r}; registered backends: "
-            f"{', '.join(names)}"
+            f"{', '.join(names)}, auto"
+        )
+    return value
+
+
+def _backend_list_argument(value: str) -> tuple[str, ...]:
+    """A comma-separated list of *registered* backends (no 'auto' —
+    calibration measures concrete substrates)."""
+    names = tuple(name.strip() for name in value.split(",") if name.strip())
+    if not names:
+        raise argparse.ArgumentTypeError(
+            "expected a comma-separated list of backends"
+        )
+    registered = _backend_names()
+    for name in names:
+        if name not in registered:
+            raise argparse.ArgumentTypeError(
+                f"unknown backend {name!r}; registered backends: "
+                f"{', '.join(registered)}"
+            )
+    return names
+
+
+def _calibration_argument(value: str) -> str:
+    if not os.path.exists(value):
+        raise argparse.ArgumentTypeError(
+            f"calibration file {value!r} not found"
         )
     return value
 
@@ -127,6 +164,36 @@ def _vec_backend_options(args) -> dict | None:
     if getattr(args, "morsel_size", None) is not None:
         options["morsel_size"] = args.morsel_size
     return options or None
+
+
+def _exec_options(args, planner: str | None = None):
+    """The unified :class:`ExecOptions` carried by the CLI flags.
+
+    ``None`` when no knob was set — the session's defaults apply. The
+    CLI goes through the unified options object rather than the legacy
+    per-call kwargs it deprecates.
+    """
+    from repro.engine.options import ExecOptions
+
+    fields = {}
+    planner = (
+        planner if planner is not None else getattr(args, "planner", None)
+    )
+    if planner is not None:
+        fields["planner"] = planner
+    if getattr(args, "parallelism", None) is not None:
+        fields["parallelism"] = args.parallelism
+    if getattr(args, "morsel_size", None) is not None:
+        fields["morsel_size"] = args.morsel_size
+    return ExecOptions(**fields) if fields else None
+
+
+def _session_kwargs(args) -> dict:
+    """Session construction kwargs shared by the subcommands."""
+    kwargs = {}
+    if getattr(args, "calibration", None) is not None:
+        kwargs["calibration"] = args.calibration
+    return kwargs
 
 
 def _run_query(args: argparse.Namespace) -> int:
@@ -232,7 +299,8 @@ def _run_http_server(args: argparse.Namespace) -> int:
     for name, dataset, scale in specs:
         print(f"-- loading tenant {name!r} ({dataset} @ scale {scale:g})")
         session = _load_session(
-            dataset, scale, result_cache_size=result_cache_size
+            dataset, scale, result_cache_size=result_cache_size,
+            **_session_kwargs(args),
         )
         registry.add(
             Tenant(
@@ -292,14 +360,15 @@ def _run_batch_inner(args: argparse.Namespace) -> int:
         print(f"repro {args.command}: no queries to run", file=sys.stderr)
         return 1
     rewrite = not args.baseline
-    backend_options = _vec_backend_options(args)
     _apply_incremental_argument(args)
     # Serving is repeated traffic: cache whole result sets unless the
     # caller opted out.
     result_cache_size = 0 if args.no_result_cache else 256
     session = _load_session(
-        args.dataset, args.scale, result_cache_size=result_cache_size
+        args.dataset, args.scale, result_cache_size=result_cache_size,
+        **_session_kwargs(args),
     )
+    exec_options = _exec_options(args)
     with session:
         if args.command == "serve":
             import asyncio
@@ -315,8 +384,7 @@ def _run_batch_inner(args: argparse.Namespace) -> int:
                     workers=args.workers,
                     timeout_seconds=args.timeout,
                     rewrite=rewrite,
-                    backend_options=backend_options,
-                    planner=args.planner,
+                    exec_options=exec_options,
                 )
             )
             summary = (
@@ -334,8 +402,7 @@ def _run_batch_inner(args: argparse.Namespace) -> int:
                 args.backend,
                 timeout_seconds=args.timeout,
                 rewrite=rewrite,
-                backend_options=backend_options,
-                planner=args.planner,
+                exec_options=exec_options,
             )
             results = list(outcome.results)
             report = outcome.report
@@ -366,6 +433,12 @@ def _run_batch_inner(args: argparse.Namespace) -> int:
                 f"{report.distinct_plans} distinct plan(s) on backend "
                 f"{report.backend!r}{shared_ops}"
             )
+            if report.backend_choices:
+                split = ", ".join(
+                    f"{count}x {name}"
+                    for name, count in sorted(report.backend_choices.items())
+                )
+                summary += f" (auto chose {split})"
         if args.json:
             print(
                 json.dumps(
@@ -390,19 +463,19 @@ def _run_batch_inner(args: argparse.Namespace) -> int:
 
 def _run_query_inner(args: argparse.Namespace) -> int:
     _apply_incremental_argument(args)
-    session = _load_session(args.dataset, args.scale)
+    session = _load_session(args.dataset, args.scale, **_session_kwargs(args))
     with session:
         rewrite = not args.baseline
         # --candidates implies cost-based planning: the candidate table
         # only exists where candidates were enumerated and ranked.
         planner = "cost" if args.candidates else args.planner
+        exec_options = _exec_options(args, planner=planner)
         if args.explain or args.candidates:
             prepared = session.prepare(
                 args.text,
                 args.backend,
                 rewrite=rewrite,
-                backend_options=_vec_backend_options(args),
-                planner=planner,
+                exec_options=exec_options,
             )
             if args.explain:
                 print(prepared.explain())
@@ -419,14 +492,82 @@ def _run_query_inner(args: argparse.Namespace) -> int:
             args.backend,
             timeout_seconds=args.timeout,
             rewrite=rewrite,
-            backend_options=_vec_backend_options(args),
-            planner=planner,
+            exec_options=exec_options,
         )
         for row in sorted(rows)[: args.limit]:
             print(row)
         shown = min(len(rows), args.limit)
         print(f"-- {len(rows)} row(s) on backend {args.backend!r} "
               f"({shown} shown)")
+    return 0
+
+
+def _default_calibration_workload(session) -> list[str]:
+    """A schema-derived calibration workload: per edge label a scan, a
+    transitive closure and a two-step join — together they exercise
+    every operator kind the cost model prices."""
+    queries = []
+    for label in sorted(session.schema.edge_labels)[:6]:
+        queries.append(f"x1, x2 <- (x1, {label}, x2)")
+        queries.append(f"x1, x2 <- (x1, {label}+, x2)")
+        queries.append(
+            f"x1, x3 <- (x1, {label}, x2) && (x2, {label}, x3)"
+        )
+    return queries
+
+
+def _run_calibrate(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+
+    try:
+        return _run_calibrate_inner(args)
+    except ReproError as error:
+        print(f"repro calibrate: error: {error}", file=sys.stderr)
+        return 1
+
+
+def _run_calibrate_inner(args: argparse.Namespace) -> int:
+    from repro.engine.options import ExecOptions
+
+    session = _load_session(args.dataset, args.scale, workload=args.dataset)
+    with session:
+        if args.file is not None:
+            queries = _read_batch_queries(args.file)
+        else:
+            queries = _default_calibration_workload(session)
+        if not queries:
+            print("repro calibrate: no queries to run", file=sys.stderr)
+            return 1
+        print(
+            f"-- calibrating {', '.join(args.backends)} on "
+            f"{len(queries)} quer(ies) x {args.repeat} pass(es) "
+            f"({args.dataset} @ scale {args.scale:g})"
+        )
+        # Cost-planned executions carry the predicted cost the scalar
+        # fit regresses against; ra/vec additionally log per-operator
+        # rows and exclusive timings for the per-kind least squares.
+        options = ExecOptions(planner="cost")
+        for _ in range(max(args.repeat, 1)):
+            for backend in args.backends:
+                for query in queries:
+                    session.execute(query, backend, exec_options=options)
+        state = session.calibrate(
+            persist_path=args.output, backends=args.backends
+        )
+        fitted = ", ".join(state.fitted_backends) or "none"
+        print(
+            f"-- fitted profile(s): {fitted} "
+            f"from {state.records} telemetry record(s)"
+        )
+        for workload, summary in state.q_error.items():
+            root = summary.get("root")
+            if root:
+                print(
+                    f"-- q-error [{workload}]: {root['count']} estimate(s), "
+                    f"p50 {root['p50']:.2f}, p90 {root['p90']:.2f}, "
+                    f"max {root['max']:.2f}"
+                )
+        print(f"-- calibration written to {args.output}")
     return 0
 
 
@@ -467,13 +608,24 @@ def _add_planner_argument(parser) -> None:
     )
 
 
+def _add_calibration_argument(parser) -> None:
+    parser.add_argument(
+        "--calibration", type=_calibration_argument, default=None,
+        metavar="PATH",
+        help="boot the session from a 'repro calibrate' JSON file: the "
+        "cost planner prices plans with the fitted per-backend "
+        "profiles, and --backend auto picks the cheapest substrate "
+        "per query on the calibrated (seconds-scale) costs",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Legacy spelling: ``repro-bench table6`` (or flag-first
     # ``repro-bench --full table6``) without the subcommand word.
     if (
         argv
-        and argv[0] not in ("bench", "query", "batch", "serve")
+        and argv[0] not in ("bench", "query", "batch", "serve", "calibrate")
         and any(arg in EXPERIMENTS for arg in argv)
     ):
         argv = ["bench"] + argv
@@ -539,6 +691,43 @@ def main(argv: list[str] | None = None) -> int:
     _add_parallel_arguments(query)
     _add_planner_argument(query)
     _add_incremental_argument(query)
+    _add_calibration_argument(query)
+
+    calibrate = subparsers.add_parser(
+        "calibrate",
+        help="measure a workload on several backends, fit per-backend "
+        "cost profiles and write them to JSON",
+    )
+    calibrate.add_argument(
+        "file", nargs="?", default=None,
+        help="file with one UCQT per line as the calibration workload "
+        "('-': stdin; default: a workload generated from the dataset's "
+        "schema edges)",
+    )
+    calibrate.add_argument(
+        "--dataset", choices=DATASETS, default="yago-example"
+    )
+    calibrate.add_argument(
+        "--scale", type=float, default=0.5,
+        help="dataset scale factor (ignored for yago-example)",
+    )
+    calibrate.add_argument(
+        "--backends", type=_backend_list_argument,
+        default=("vec", "ra", "sqlite"),
+        metavar="B1,B2,...",
+        help="comma-separated backends to measure and fit "
+        "(default: vec,ra,sqlite)",
+    )
+    calibrate.add_argument(
+        "--repeat", type=int, default=2,
+        help="workload passes per backend — more passes, steadier "
+        "least-squares fits (default 2)",
+    )
+    calibrate.add_argument(
+        "--output", "-o", default="calibration.json", metavar="PATH",
+        help="where to write the fitted calibration state "
+        "(default calibration.json)",
+    )
 
     for name, help_text in (
         ("batch", "execute a file of queries as one shared batch"),
@@ -587,6 +776,7 @@ def main(argv: list[str] | None = None) -> int:
         _add_parallel_arguments(sub)
         _add_planner_argument(sub)
         _add_incremental_argument(sub)
+        _add_calibration_argument(sub)
         if name == "serve":
             sub.add_argument(
                 "--workers", type=int, default=2,
@@ -628,15 +818,18 @@ def main(argv: list[str] | None = None) -> int:
     if (
         getattr(args, "parallelism", None) is not None
         or getattr(args, "morsel_size", None) is not None
-    ) and getattr(args, "backend", "vec") != "vec":
+    ) and getattr(args, "backend", "vec") not in ("vec", "auto"):
         # Reject rather than silently ignore — same contract as the vec
-        # backend's unknown-option validation.
+        # backend's unknown-option validation. "auto" may pick vec, so
+        # the knobs stay accepted there.
         parser.error(
             "--parallelism/--morsel-size configure the 'vec' backend "
             f"(got --backend {args.backend!r})"
         )
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "calibrate":
+        return _run_calibrate(args)
     if args.command in ("batch", "serve"):
         return _run_batch(args)
     return _run_query(args)

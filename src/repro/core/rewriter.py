@@ -507,6 +507,47 @@ def enumerate_rewrites(
     return candidates
 
 
+def prune_schema_for_query(schema: GraphSchema, query: UCQT) -> GraphSchema:
+    """The sub-schema reachable from the query's own labels.
+
+    Keeps exactly the schema edges whose edge label occurs in some
+    relation's path expression, their endpoint nodes, and any node
+    labels the query's label atoms mention. Sound for rewriting because
+    the inference engine and the redundancy remover only ever consult
+    the schema through the labels of the expression being rewritten
+    (``edges_for_label`` and the endpoint labels of those triples) —
+    edges of unrelated labels can never enter ``TS(ϕ)``.
+
+    Planning cost is what this buys: candidate enumeration over a
+    hundreds-of-relations schema stays proportional to the handful of
+    relations one query touches. Returns ``schema`` itself (no copy)
+    when nothing can be pruned.
+    """
+    edge_labels: set[str] = set()
+    atom_labels: set[str] = set()
+    for cqt in query.disjuncts:
+        for relation in cqt.relations:
+            edge_labels |= relation.expr.edge_labels()
+        for atom in cqt.atoms:
+            atom_labels |= set(atom.labels)
+    kept_edges = [
+        edge for edge in schema.edges() if edge.edge_label in edge_labels
+    ]
+    if len(kept_edges) == len(list(schema.edges())):
+        return schema
+    nodes_by_label = {node.label: node for node in schema.nodes()}
+    kept_labels: set[str] = set()
+    for edge in kept_edges:
+        kept_labels.add(edge.source_label)
+        kept_labels.add(edge.target_label)
+    kept_labels |= atom_labels & set(nodes_by_label)
+    return GraphSchema(
+        nodes=[nodes_by_label[label] for label in sorted(kept_labels)],
+        edges=kept_edges,
+        name=f"{schema.name}|pruned",
+    )
+
+
 def _fresh_namer(query: UCQT):
     """Fresh-variable factory avoiding collision with the query's names."""
     used = set(query.head)

@@ -124,9 +124,22 @@ class RaBackend:
         plan: RaPlan,
         timeout_seconds: float | None = None,
     ) -> frozenset[tuple]:
+        return self.execute_with_stats(session, plan, timeout_seconds, None)
+
+    def execute_with_stats(
+        self,
+        session: "GraphSession",
+        plan: RaPlan,
+        timeout_seconds: float | None = None,
+        stats: ExecutionStats | None = None,
+    ) -> frozenset[tuple]:
+        """Execute, optionally collecting per-operator actual row counts
+        and exclusive timings (the calibration telemetry)."""
         columns, rows = evaluate_term(
-            plan.term, session.store, EvalBudget(timeout_seconds)
+            plan.term, session.store, EvalBudget(timeout_seconds), stats
         )
+        if stats is not None:
+            stats.programs += 1
         if columns != plan.head:
             order = tuple(columns.index(column) for column in plan.head)
             rows = {tuple(row[i] for i in order) for row in rows}

@@ -40,7 +40,10 @@ points (``repro batch`` / ``repro serve``) switch it on.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
+import pathlib
+import time
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -53,7 +56,13 @@ from repro.engine.cache import (
     freeze_options,
     result_cache_key,
 )
+from repro.engine.options import (
+    DEFAULT_EXEC_OPTIONS,
+    ExecOptions,
+    warn_legacy_exec_kwargs,
+)
 from repro.engine.protocol import Backend, available_backends, get_backend
+from repro.engine.report import ExplainReport
 from repro.exec.dictionary import encoding_appends
 from repro.exec.executor import CAPTURE_KERNEL, CAPTURE_OUTPUT, ExecutionStats
 from repro.exec.kernels import default_kernel, get_kernel
@@ -61,11 +70,23 @@ from repro.exec.maintain import maintain_program, maintainable
 from repro.gdb.engine import PatternEngine
 from repro.graph.evaluator import EvalBudget
 from repro.graph.model import UNLABELLED, PropertyGraph
-from repro.planner import PlanChoice, plan_query, validate_planner
+from repro.planner import (
+    CalibrationLog,
+    CalibrationState,
+    CostProfile,
+    PlanChoice,
+    calibrate_from_log,
+    enumerate_plan_candidates,
+    estimate_kind_rows,
+    plan_query,
+    rank_candidates,
+    validate_planner,
+)
 from repro.query.model import UCQT, drop_unsatisfiable_disjuncts
 from repro.query.parser import parse_query
-from repro.ra.stats import store_statistics
+from repro.ra.stats import Estimator, store_statistics
 from repro.schema.model import GraphSchema
+from repro.schema.validation import check_consistency
 from repro.sql.sqlite_backend import SqliteBackend
 from repro.storage.relational import RelationalStore, incremental_enabled
 
@@ -137,6 +158,11 @@ class PreparedQuery:
     choice: PlanChoice | None = None
     plan_key: tuple | None = None
     last_execution_stats: ExecutionStats | None = None
+    #: Whether the schema rewrite actually ran. Differs from ``rewrite``
+    #: (the request) when the session's conformance gate disabled
+    #: rewriting over a non-conforming instance (paper Def. 3 — the
+    #: rewriting is only sound on instances that conform to the schema).
+    rewrite_applied: bool = True
 
     @property
     def backend_name(self) -> str:
@@ -149,7 +175,13 @@ class PreparedQuery:
         return self.rewrite_result.reverted if self.rewrite_result else True
 
     def _refresh_if_stale(self) -> None:
-        if self.fingerprint != self.session.schema_fingerprint:
+        stale = self.fingerprint != self.session.schema_fingerprint
+        if not stale and self.rewrite:
+            # Data writes can flip instance conformance, and with it
+            # whether the schema rewrite is sound to execute — the plan
+            # must follow the gate, not the fingerprint alone.
+            stale = self.session.rewrite_sound() != self.rewrite_applied
+        if stale:
             renewed = self.session.prepare(
                 self.query,
                 self.backend.name,
@@ -184,14 +216,17 @@ class PreparedQuery:
         if (
             key is not None
             and isinstance(self.plan, _backends.VecPlan)
-            and incremental_enabled()
+            and self.session._incremental_active()
         ):
             capture = {}
         stats: ExecutionStats | None = None
         runner = getattr(self.backend, "execute_with_stats", None)
-        if runner is not None and (self.choice is not None or capture is not None):
-            if self.choice is not None:
-                stats = ExecutionStats()
+        started = time.perf_counter()
+        if runner is not None:
+            # Stats-capable backends (ra/vec) always run instrumented:
+            # per-operator (estimate, actual) pairs and exclusive
+            # timings feed the session's calibration log.
+            stats = ExecutionStats()
             if capture is not None:
                 rows = runner(
                     self.session, self.plan, timeout_seconds, stats,
@@ -203,42 +238,42 @@ class PreparedQuery:
             rows = self.backend.execute(
                 self.session, self.plan, timeout_seconds
             )
+        elapsed = time.perf_counter() - started
         if self.choice is not None:
             if stats is None:
                 stats = ExecutionStats(programs=1)
             stats.estimated_rows += self.choice.winner.rows
             stats.actual_rows += len(rows)
-            self.last_execution_stats = stats
             self.session._observe_execution(self, len(rows), stats)
+        if stats is not None:
+            self.last_execution_stats = stats
+        self.session._record_telemetry(self, len(rows), stats, elapsed)
         if key is not None:
             self.session._store_result(key, rows, version, capture)
         return rows
 
-    def explain(self) -> str:
+    def explain(self) -> ExplainReport:
+        """The structured explain report (renders to the classic text)."""
         self._refresh_if_stale()
-        if self.plan is None:
-            text = "-- empty result: the schema proved this query unsatisfiable --"
-            if self.choice is not None:
-                text += f"\n\n{self.choice.render()}"
-            return text
-        text = self.backend.explain(self.session, self.plan)
-        if self.choice is not None:
-            text += f"\n\n{self.choice.render()}"
-        if self.result_cache_key() is not None:
-            stats = self.session._result_cache.stats()
-            text += (
-                f"\n\n-- result cache: {stats.hits} hit(s), "
-                f"{stats.misses} miss(es), {stats.size} cached result set(s) --"
-            )
-            maintenance = self.session._maintenance
-            if maintenance.results_maintained or maintenance.results_invalidated:
-                text += (
-                    f"\n-- incremental maintenance: "
-                    f"{maintenance.results_maintained} maintained, "
-                    f"{maintenance.results_invalidated} invalidated, "
-                    f"{maintenance.delta_rows_applied} delta row(s) applied --"
-                )
-        return text
+        session = self.session
+        plan_text = None
+        result_cache = maintenance = None
+        if self.plan is not None:
+            plan_text = self.backend.explain(session, self.plan)
+            if self.result_cache_key() is not None:
+                result_cache = session._result_cache.stats()
+                counters = session._maintenance
+                if counters.results_maintained or counters.results_invalidated:
+                    maintenance = counters
+        return ExplainReport(
+            backend=self.backend_name,
+            query=str(self.query),
+            plan_text=plan_text,
+            choice=self.choice,
+            result_cache=result_cache,
+            maintenance=maintenance,
+            q_error=session._explain_q_error(self.backend_name),
+        )
 
 
 class GraphSession:
@@ -256,7 +291,23 @@ class GraphSession:
         result_cache_size: int = 0,
         planner: str = "greedy",
         replan_error_threshold: float = 8.0,
+        exec_options: ExecOptions | None = None,
+        calibration: "CalibrationState | str | pathlib.Path | None" = None,
+        workload: str = "default",
     ):
+        #: Session-default execution options; per-call ``exec_options``
+        #: (and the deprecated per-call kwargs) overlay these.
+        self.exec_options = DEFAULT_EXEC_OPTIONS.merged(exec_options)
+        if planner == "greedy" and self.exec_options.planner is not None:
+            planner = self.exec_options.planner
+        if (
+            result_cache_size == 0
+            and self.exec_options.result_cache_size is not None
+        ):
+            result_cache_size = self.exec_options.result_cache_size
+        #: Session-level incremental-maintenance toggle (None: follow
+        #: the ``REPRO_INCREMENTAL`` process default).
+        self._incremental = self.exec_options.incremental
         self._graph = graph
         self._schema = schema
         self._store = store
@@ -311,6 +362,26 @@ class GraphSession:
         #: Counters of the result-maintenance flow (maintained vs
         #: invalidated entries, delta rows applied, encoding appends).
         self._maintenance = ExecutionStats()
+        #: Per-operator (estimate, actual, seconds) telemetry of every
+        #: execution — the raw material ``calibrate()`` fits cost
+        #: profiles from and Q-error summaries are computed over.
+        self.calibration_log = CalibrationLog()
+        #: Workload tag stamped onto telemetry records (Q-error
+        #: summaries group by it). Callers may reassign it between
+        #: queries to segment the log.
+        self.workload_tag = workload
+        if calibration is not None and not isinstance(
+            calibration, CalibrationState
+        ):
+            calibration = CalibrationState.load(calibration)
+        #: Fitted cost profiles the planner ranks with (None until
+        #: ``calibrate()`` runs or a persisted state is loaded).
+        self._calibration: CalibrationState | None = calibration
+        #: Memoised instance-conformance verdict: (store version, bool).
+        #: Schema rewriting is only sound on conforming instances
+        #: (paper Def. 3) — ``rewrite_sound`` gates it per store version.
+        self._conformance: tuple[int, bool] | None = None
+        self._rewrites_gated = 0
 
     # -- derived artefacts (built lazily, owned by the session) -----------
     @property
@@ -429,6 +500,11 @@ class GraphSession:
             rewrite_options=self.rewrite_options,
             result_cache_size=0,
             planner=self.planner,
+            exec_options=dataclasses.replace(
+                self.exec_options, result_cache_size=0
+            ),
+            calibration=self._calibration,
+            workload=self.workload_tag,
         )
 
     def update_schema(self, schema: GraphSchema) -> None:
@@ -436,10 +512,83 @@ class GraphSession:
         fingerprint retires every cached rewrite and plan."""
         self._schema = schema
         self._fingerprint = None
+        self._conformance = None
         if self._sqlite is not None:
             self._sqlite.close()
         self._sqlite = None
         self._store = None
+
+    # -- the conformance gate (rewrite soundness, paper Def. 3) ------------
+    def rewrite_sound(self) -> bool:
+        """True when schema rewriting is sound over the current instance.
+
+        The paper's rewriting (Prop. 4.3) assumes the database conforms
+        to the schema (Def. 3): on a non-conforming instance a rewrite
+        can prune tuples the original query would return — nested
+        bounded repetitions over out-of-schema edges were the observed
+        symptom. ``prepare`` therefore checks conformance and falls back
+        to the unrewritten pipeline when it fails.
+
+        The verdict is memoised per store version. A non-conforming
+        verdict *latches* across append-only writes (appends cannot
+        remove the violating rows); a conforming verdict is advanced by
+        checking only the appended delta. Barrier writes re-run the full
+        check.
+        """
+        version = self.store.version
+        cached = self._conformance
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        conforms: bool | None = None
+        if cached is not None:
+            deltas = self.store.delta_since(cached[0])
+            if deltas is not None:
+                conforms = cached[1] and self._delta_conforms(deltas)
+        if conforms is None:
+            conforms = check_consistency(
+                self.graph, self._schema, max_violations=1
+            ).consistent
+        self._conformance = (version, conforms)
+        return conforms
+
+    def _delta_conforms(self, deltas: Mapping[str, frozenset]) -> bool:
+        """Def. 3 restricted to an append delta's rows (conservative)."""
+        store = self.store
+        graph = self.graph  # synced past the delta
+        node_tables = store.node_tables
+        aliases = store.aliases
+        allowed = {
+            (edge.source_label, edge.edge_label, edge.target_label)
+            for edge in self._schema.edges()
+        }
+        for name in deltas:
+            if name in aliases:
+                continue  # alias views mirror their member tables
+            rows = deltas[name]
+            if name in node_tables:
+                if not self._schema.has_node_label(name):
+                    return False
+                spec = self._schema.property_spec(name)
+                columns = store.table(name).columns
+                for row in rows:
+                    for key, value in zip(columns[1:], row[1:]):
+                        if value is None:
+                            continue  # absent property, not a violation
+                        if key not in spec or not spec[key].accepts(value):
+                            return False
+            else:
+                for row in rows:
+                    if len(row) != 2:
+                        return False
+                    source, target = row
+                    if not (graph.has_node(source) and graph.has_node(target)):
+                        return False
+                    triple = (
+                        graph.node_label(source), name, graph.node_label(target)
+                    )
+                    if triple not in allowed:
+                        return False
+        return True
 
     # -- the pipeline, cached ----------------------------------------------
     def rewrite(
@@ -458,94 +607,188 @@ class GraphSession:
     def prepare(
         self,
         query: UCQT | str,
-        backend: str = "ra",
+        backend: str | None = None,
         *,
         rewrite: bool = True,
         options: RewriteOptions | None = None,
         backend_options: Mapping | None = None,
         planner: str | None = None,
+        exec_options: ExecOptions | None = None,
     ) -> PreparedQuery:
         """Compile a query for one backend, through both cache layers.
 
-        ``rewrite=False`` skips the schema rewriter entirely (the
-        baseline variant of the paper's experiments). ``backend_options``
-        carries backend-specific knobs (e.g. ``{"kernel": "python"}`` for
-        ``vec``); the mapping is canonicalised (sorted, recursively) into
-        the plan-cache key, so logically identical option dicts share one
-        cache entry regardless of insertion order.
+        Execution knobs resolve through :class:`ExecOptions`: the
+        session's defaults, overlaid by the per-call ``exec_options``,
+        overlaid by the legacy per-call aliases (``backend``,
+        ``planner``, ``backend_options`` — deprecated but fully
+        supported). The knobs the chosen backend consumes are
+        canonicalised (sorted, recursively) into the plan-cache key, so
+        logically identical settings share one cache entry.
 
-        ``planner`` overrides the session default: ``"greedy"`` is the
-        classic linear pipeline (rewrite when profitable per the
-        rewriter's own heuristic, one greedy join order); ``"cost"``
-        enumerates candidate plans — original, full and partial
-        rewrites, alternative join orders — and executes the cheapest
-        under the backend's cost profile.
+        ``rewrite=False`` skips the schema rewriter entirely (the
+        baseline variant of the paper's experiments); ``rewrite=True``
+        additionally requires the instance to conform to the schema
+        (:meth:`rewrite_sound`) — rewriting is unsound otherwise and
+        the session falls back to the unrewritten pipeline.
+
+        ``planner`` selects the pipeline: ``"greedy"`` is the classic
+        linear one (rewrite when profitable per the rewriter's own
+        heuristic, one greedy join order); ``"cost"`` enumerates
+        candidate plans — original, full and partial rewrites,
+        alternative join orders — and executes the cheapest under the
+        backend's (possibly calibrated) cost profile. A ``backend`` of
+        ``"auto"`` additionally lets the cost model pick the execution
+        substrate per query.
         """
         query = self._as_query(query)
-        backend_impl = get_backend(backend)
-        planner_mode = validate_planner(planner or self.planner)
+        if planner is not None or backend_options is not None:
+            warn_legacy_exec_kwargs("GraphSession.prepare")
+        resolved = self.exec_options.merged(exec_options).with_legacy(
+            backend=backend, planner=planner
+        )
+        backend_name = resolved.backend or "ra"
+        planner_mode = resolved.planner or self.planner
+        effective_rewrite = rewrite and self.rewrite_sound()
+        if rewrite and not effective_rewrite:
+            self._rewrites_gated += 1
         options = (options or self.rewrite_options) if rewrite else None
+        if backend_name == "auto":
+            growth = resolved.fixpoint_growth
+            if growth is None:
+                growth = (backend_options or {}).get("fixpoint_growth")
+            backend_name = self._choose_backend(
+                query, effective_rewrite, options, growth
+            )
+            planner_mode = "cost"
+        backend_impl = get_backend(backend_name)
+        planner_mode = validate_planner(planner_mode)
+        effective_options = resolved.backend_options_for(
+            backend_impl.name, backend_options
+        )
         if planner_mode == "cost":
             return self._prepare_cost(
-                query, backend_impl, rewrite, options, backend_options
+                query, backend_impl, rewrite, effective_rewrite, options,
+                effective_options,
             )
         rewrite_result = None
         executed = query
-        if rewrite:
+        if effective_rewrite:
             rewrite_result = self.rewrite(query, options)
             executed = rewrite_result.query
         executed = _drop_unsatisfiable_disjuncts(executed)
         if executed.is_empty:
             return PreparedQuery(
                 self, backend_impl, query, executed, rewrite_result, None,
-                self.schema_fingerprint, rewrite, options, backend_options,
+                self.schema_fingerprint, rewrite, options, effective_options,
+                rewrite_applied=effective_rewrite,
             )
         key = (
             backend_impl.name,
             str(query),
-            rewrite,
+            effective_rewrite,
             self.schema_fingerprint,
             options,
-            freeze_options(backend_options),
+            freeze_options(effective_options),
         )
         def prepare_plan():
             # Only pass options through when present, so pre-options
             # backends (third-party adapters with a two-argument
             # ``prepare``) keep working until actually handed options.
-            if backend_options is None:
+            if effective_options is None:
                 return backend_impl.prepare(self, executed)
-            return backend_impl.prepare(self, executed, backend_options)
+            return backend_impl.prepare(self, executed, effective_options)
 
         plan = self._plan_cache.get_or_create(key, prepare_plan)
         return PreparedQuery(
             self, backend_impl, query, executed, rewrite_result, plan,
-            self.schema_fingerprint, rewrite, options, backend_options,
+            self.schema_fingerprint, rewrite, options, effective_options,
+            rewrite_applied=effective_rewrite,
         )
+
+    #: Backends the auto-chooser ranks when no calibration is loaded.
+    _AUTO_POOL = ("vec", "ra", "sqlite")
+
+    def _choose_backend(
+        self,
+        query: UCQT,
+        rewrite: bool,
+        options: RewriteOptions | None,
+        fixpoint_growth: float | None,
+    ) -> str:
+        """Pick the cheapest backend for one query (``backend="auto"``).
+
+        Ranks the query's candidate plans once per eligible backend and
+        returns the backend whose winning plan is cheapest. With a
+        loaded :class:`~repro.planner.CalibrationState` the eligible set
+        is the fitted backends and costs compare in measured seconds
+        (mutually comparable across backends); without one it falls
+        back to the built-in profiles over the default pool — never a
+        mix of the two scales. The choice is memoised in the plan cache.
+        """
+        key = (
+            "planner:auto",
+            str(query),
+            rewrite,
+            self.schema_fingerprint,
+            options,
+            fixpoint_growth,
+        )
+
+        def choose() -> str:
+            state = self._calibration
+            if state is not None and state.fitted_backends:
+                pool = [
+                    (name, state.profile_for(name))
+                    for name in state.fitted_backends
+                ]
+            else:
+                pool = [(name, None) for name in self._AUTO_POOL]
+            estimator = Estimator(
+                self.store, fixpoint_growth=fixpoint_growth
+            )
+            candidates = enumerate_plan_candidates(
+                query, self._schema, self.store,
+                rewrite=rewrite, options=options, estimator=estimator,
+            )
+            best_name: str | None = None
+            best_cost = float("inf")
+            for name, profile in pool:
+                choice = rank_candidates(
+                    candidates, self.store, name,
+                    estimator=estimator, profile=profile,
+                )
+                if choice.winner.cost < best_cost:
+                    best_name, best_cost = name, choice.winner.cost
+            assert best_name is not None
+            return best_name
+
+        return self._plan_cache.get_or_create(key, choose)
 
     def _prepare_cost(
         self,
         query: UCQT,
         backend_impl: Backend,
         rewrite: bool,
+        effective_rewrite: bool,
         options: RewriteOptions | None,
         backend_options: Mapping | None,
     ) -> PreparedQuery:
         """The cost-based planning path of :meth:`prepare`.
 
         Enumerates candidates, ranks them under the backend's cost
-        profile and compiles the winner — via the backend's
-        ``prepare_from_term`` hook when it executes µ-RA terms directly
-        (``ra``/``vec``), else by handing it the winning candidate's
-        query text (``sqlite``/``gdb``/``reference``, whose candidate
-        space is the rewrite choice; the RA cost is their proxy). The
-        ``(plan, choice)`` pair is cached like any greedy plan, under a
-        planner-tagged key.
+        profile — the session's calibrated profile when one is loaded —
+        and compiles the winner: via the backend's ``prepare_from_term``
+        hook when it executes µ-RA terms directly (``ra``/``vec``), else
+        by handing it the winning candidate's query text (``sqlite``/
+        ``gdb``/``reference``, whose candidate space is the rewrite
+        choice; the RA cost is their proxy). The ``(plan, choice)`` pair
+        is cached like any greedy plan, under a planner-tagged key.
         """
         key = (
             "planner:cost",
             backend_impl.name,
             str(query),
-            rewrite,
+            effective_rewrite,
             self.schema_fingerprint,
             options,
             freeze_options(backend_options),
@@ -558,9 +801,10 @@ class GraphSession:
                 self._schema,
                 self.store,
                 backend_impl.name,
-                rewrite=rewrite,
+                rewrite=effective_rewrite,
                 options=options,
                 fixpoint_growth=growth,
+                profile=self.calibration_profile(backend_impl.name),
             )
             winner = choice.winner.candidate
             if winner.term is None:
@@ -580,37 +824,40 @@ class GraphSession:
             self, backend_impl, query, winner.query, winner.rewrite_result,
             plan, self.schema_fingerprint, rewrite, options, backend_options,
             planner="cost", choice=choice, plan_key=key,
+            rewrite_applied=effective_rewrite,
         )
 
     def execute(
         self,
         query: UCQT | str,
-        backend: str = "ra",
+        backend: str | None = None,
         *,
         timeout_seconds: float | None = None,
         rewrite: bool = True,
         options: RewriteOptions | None = None,
         backend_options: Mapping | None = None,
         planner: str | None = None,
+        exec_options: ExecOptions | None = None,
     ) -> frozenset[tuple]:
         """Rewrite, plan (both cached) and run a query on one backend."""
         prepared = self.prepare(
             query, backend,
             rewrite=rewrite, options=options, backend_options=backend_options,
-            planner=planner,
+            planner=planner, exec_options=exec_options,
         )
         return prepared.execute(timeout_seconds)
 
     def execute_batch(
         self,
         queries: "Sequence[UCQT | str]",
-        backend: str = "vec",
+        backend: str | None = None,
         *,
         timeout_seconds: float | None = None,
         rewrite: bool = True,
         options: RewriteOptions | None = None,
         backend_options: Mapping | None = None,
         planner: str | None = None,
+        exec_options: ExecOptions | None = None,
     ) -> list[frozenset[tuple]]:
         """Execute a batch of queries, sharing work across the batch.
 
@@ -629,25 +876,31 @@ class GraphSession:
             self, queries, backend,
             timeout_seconds=timeout_seconds, rewrite=rewrite,
             options=options, backend_options=backend_options,
-            planner=planner,
+            planner=planner, exec_options=exec_options,
         )
         return list(outcome.results)
 
     def explain(
         self,
         query: UCQT | str,
-        backend: str = "ra",
+        backend: str | None = None,
         *,
         rewrite: bool = True,
         options: RewriteOptions | None = None,
         backend_options: Mapping | None = None,
         planner: str | None = None,
-    ) -> str:
-        """Render the plan the backend would execute for this query."""
+        exec_options: ExecOptions | None = None,
+    ) -> ExplainReport:
+        """The plan the backend would execute, as a structured report.
+
+        Returns an :class:`~repro.engine.report.ExplainReport` — its
+        ``render()`` (and ``str()``) is the classic explain text, its
+        ``to_dict()`` the JSON form the HTTP tier ships.
+        """
         prepared = self.prepare(
             query, backend,
             rewrite=rewrite, options=options, backend_options=backend_options,
-            planner=planner,
+            planner=planner, exec_options=exec_options,
         )
         return prepared.explain()
 
@@ -722,7 +975,7 @@ class GraphSession:
         set with no seedable fixpoint state). Plans that read none of
         the changed relations are re-stamped without any evaluation.
         """
-        if not incremental_enabled():
+        if not self._incremental_active():
             return None
         store = self.store
         deltas = store.delta_since(entry.version)
@@ -833,16 +1086,118 @@ class GraphSession:
             if self._plan_cache.evict(prepared.plan_key):
                 self._planner_replans += 1
 
+    # -- calibration (telemetry → fit → exploit) ---------------------------
+    def _incremental_active(self) -> bool:
+        """Incremental maintenance, after the session-level toggle."""
+        if self._incremental is False:
+            return False
+        return incremental_enabled()
+
+    def _record_telemetry(
+        self,
+        prepared: PreparedQuery,
+        row_count: int,
+        stats: "ExecutionStats | None",
+        seconds: float,
+    ) -> None:
+        """Append one execution's telemetry to the calibration log.
+
+        Per-operator estimates come from the cost model's own
+        cardinality walk over the executed term (ra/vec; black-box
+        backends contribute totals-only records), the root estimate
+        from the planner's winning candidate when cost-planned, else
+        from the estimator directly.
+        """
+        choice = prepared.choice
+        estimated_root = choice.winner.rows if choice is not None else None
+        predicted = choice.winner.cost if choice is not None else None
+        op_estimates = None
+        term = getattr(prepared.plan, "term", None)
+        if term is not None:
+            estimator = Estimator(self.store)
+            op_estimates = estimate_kind_rows(term, self.store, estimator)
+            if estimated_root is None:
+                estimated_root = estimator.rows(term)
+        self.calibration_log.record_execution(
+            backend=prepared.backend_name,
+            workload=self.workload_tag,
+            seconds=seconds,
+            stats=stats,
+            op_estimates=op_estimates,
+            estimated_rows=estimated_root,
+            actual_rows=row_count,
+            predicted_cost=predicted,
+        )
+
+    def calibration_profile(self, backend: str) -> "CostProfile | None":
+        """The fitted cost profile for ``backend`` (None: uncalibrated)."""
+        if self._calibration is None:
+            return None
+        return self._calibration.profile_for(backend)
+
+    @property
+    def calibration(self) -> CalibrationState | None:
+        return self._calibration
+
+    def calibrate(
+        self,
+        persist_path: "str | pathlib.Path | None" = None,
+        backends: "Sequence[str] | None" = None,
+    ) -> CalibrationState:
+        """Fit per-backend cost profiles from this session's telemetry.
+
+        Least-squares fits each logged backend's
+        :class:`~repro.planner.cost.CostProfile` (seconds per row —
+        mutually comparable across backends, which is what lets
+        ``backend="auto"`` pick a substrate per query). The fitted state
+        becomes the session's active calibration, the plan cache is
+        cleared so rankings recompute under the new weights, and
+        ``persist_path`` optionally writes the state as JSON for a
+        serving process to boot from
+        (``GraphSession(..., calibration=path)``).
+        """
+        state = calibrate_from_log(self.calibration_log, backends=backends)
+        self._calibration = state
+        self._plan_cache.clear()
+        if persist_path is not None:
+            state.save(persist_path)
+        return state
+
+    def _explain_q_error(self, backend: str) -> dict | None:
+        """Root-cardinality Q-error summary for explain (None: no data)."""
+        summary = self.calibration_log.backend_summary(backend)
+        if summary is None:
+            return None
+        summary = dict(summary)
+        summary["calibrated"] = (
+            self._calibration is not None
+            and backend in self._calibration.fitted_backends
+        )
+        return summary
+
     @property
     def planner_stats(self) -> dict:
         """Counters of the adaptive planning loop (cost planner only)."""
         store_stats = store_statistics(self.store)
+        state = self._calibration
         return {
             "mode": self.planner,
             "observations": self._planner_observations,
             "replans": self._planner_replans,
             "observed_fixpoint_growth": store_stats.observed_fixpoint_growth,
             "feedback_entries": len(store_stats.feedback),
+            "rewrites_gated": self._rewrites_gated,
+            "instance_conforming": (
+                None if self._conformance is None else self._conformance[1]
+            ),
+            "calibration": {
+                "records": len(self.calibration_log),
+                "total_recorded": self.calibration_log.total_recorded,
+                "fitted_backends": (
+                    list(state.fitted_backends) if state is not None else []
+                ),
+                "q_error": self.calibration_log.summary(),
+            },
         }
 
     # -- introspection -----------------------------------------------------

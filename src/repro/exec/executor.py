@@ -32,6 +32,7 @@ falls back to sequential execution behind the same surface).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, fields
 
 from repro.errors import EvaluationError
@@ -87,6 +88,13 @@ class ExecutionStats:
     rows corrects the growth assumption). ``estimated_rows`` /
     ``actual_rows`` carry the planner's root-level estimate next to the
     observed result size; :attr:`cardinality_error` is their ratio.
+
+    The ``*_seconds`` counters are **exclusive** wall-clock time per
+    operator kind — each operator's evaluation time minus the time its
+    children spent, so the per-kind totals sum to (at most) the whole
+    execution. They are the measurements
+    :func:`repro.planner.calibration.fit_profile` regresses per-row
+    operator weights from.
     """
 
     programs: int = 0
@@ -103,10 +111,40 @@ class ExecutionStats:
     scan_rows: int = 0
     join_rows: int = 0
     union_rows: int = 0
+    select_rows: int = 0
+    project_rows: int = 0
     fixpoint_base_rows: int = 0
     fixpoint_rows: int = 0
+    scan_seconds: float = 0.0
+    join_seconds: float = 0.0
+    union_seconds: float = 0.0
+    select_seconds: float = 0.0
+    project_seconds: float = 0.0
+    fixpoint_seconds: float = 0.0
     estimated_rows: float = 0.0
     actual_rows: int = 0
+
+    def operator_rows(self) -> dict[str, int]:
+        """Actual output rows by operator kind (calibration features)."""
+        return {
+            "scan": self.scan_rows,
+            "join": self.join_rows,
+            "union": self.union_rows,
+            "select": self.select_rows,
+            "project": self.project_rows,
+            "fixpoint": self.fixpoint_rows,
+        }
+
+    def operator_seconds(self) -> dict[str, float]:
+        """Exclusive wall-clock seconds by operator kind."""
+        return {
+            "scan": self.scan_seconds,
+            "join": self.join_seconds,
+            "union": self.union_seconds,
+            "select": self.select_seconds,
+            "project": self.project_seconds,
+            "fixpoint": self.fixpoint_seconds,
+        }
 
     @property
     def cardinality_error(self) -> float:
@@ -270,6 +308,10 @@ class _Runner:
         self.budget = budget
         self.stats = ExecutionStats(programs=len(programs))
         self._memo: dict[int, object] = {}
+        # Stack of accumulated child-evaluation seconds, one slot per
+        # in-flight _eval frame: exclusive per-operator time is the
+        # frame's elapsed wall clock minus what its children consumed.
+        self._child_seconds: list[float] = []
         #: id(FixOp) -> the membership state its iteration converged
         #: with, kept so fix captures can store (total, state, domain)
         #: and a later maintenance run can resume without re-sorting
@@ -292,19 +334,40 @@ class _Runner:
             if hit is not None:
                 self.stats.memo_hits += 1
                 return hit
-        result = self._eval_uncached(op, env)
+        started = time.perf_counter()
+        self._child_seconds.append(0.0)
+        try:
+            result = self._eval_uncached(op, env)
+        finally:
+            child = self._child_seconds.pop()
+        elapsed = time.perf_counter() - started
+        if self._child_seconds:
+            self._child_seconds[-1] += elapsed
+        exclusive = max(elapsed - child, 0.0)
         self.stats.ops_evaluated += 1
         rows = self.kernel.nrows(result)
-        # Actual cardinalities per operator kind: the feedback the
-        # adaptive planner compares against its estimates.
+        # Actual cardinalities and exclusive timings per operator kind:
+        # the feedback the adaptive planner compares against its
+        # estimates, and the measurements profile calibration fits.
+        stats = self.stats
         if isinstance(op, ScanOp):
-            self.stats.scan_rows += rows
+            stats.scan_rows += rows
+            stats.scan_seconds += exclusive
         elif isinstance(op, JoinOp):
-            self.stats.join_rows += rows
+            stats.join_rows += rows
+            stats.join_seconds += exclusive
         elif isinstance(op, UnionOp):
-            self.stats.union_rows += rows
+            stats.union_rows += rows
+            stats.union_seconds += exclusive
+        elif isinstance(op, SelectEqOp):
+            stats.select_rows += rows
+            stats.select_seconds += exclusive
+        elif isinstance(op, ProjectOp):
+            stats.project_rows += rows
+            stats.project_seconds += exclusive
         elif isinstance(op, FixOp):
-            self.stats.fixpoint_rows += rows
+            stats.fixpoint_rows += rows
+            stats.fixpoint_seconds += exclusive
         self.budget.tick(rows)
         if op.closed:
             self._memo[id(op)] = result

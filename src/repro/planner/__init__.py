@@ -30,12 +30,23 @@ from repro.planner.candidates import (
     plan_query,
     rank_candidates,
 )
+from repro.planner.calibration import (
+    CalibrationLog,
+    CalibrationRecord,
+    CalibrationState,
+    calibrate_from_log,
+    fit_profile,
+    q_error,
+    q_error_summary,
+)
 from repro.planner.cost import (
+    OPERATOR_KINDS,
     PROFILES,
     CostProfile,
     TermCost,
     cost_profile,
     cost_term,
+    estimate_kind_rows,
 )
 
 #: The planner modes a session accepts.
@@ -62,8 +73,17 @@ __all__ = [
     "CostProfile",
     "TermCost",
     "PROFILES",
+    "OPERATOR_KINDS",
     "cost_profile",
     "cost_term",
+    "estimate_kind_rows",
+    "CalibrationLog",
+    "CalibrationRecord",
+    "CalibrationState",
+    "calibrate_from_log",
+    "fit_profile",
+    "q_error",
+    "q_error_summary",
     "DEFAULT_MAX_PARTIAL",
     "DEFAULT_JOIN_ORDERS",
 ]

@@ -27,6 +27,7 @@ from repro.core.rewriter import (
     RewriteOptions,
     RewriteResult,
     enumerate_rewrites,
+    prune_schema_for_query,
 )
 from repro.errors import ReproError
 from repro.planner.cost import CostProfile, cost_profile, cost_term
@@ -69,6 +70,15 @@ class RankedCandidate:
     def label(self) -> str:
         return self.candidate.label
 
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "source": self.candidate.source,
+            "cost": self.cost,
+            "rows": self.rows,
+            "chosen": self.chosen,
+        }
+
 
 @dataclass(frozen=True)
 class PlanChoice:
@@ -83,6 +93,13 @@ class PlanChoice:
             if entry.chosen:
                 return entry
         return self.ranked[0]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable candidate table (the ExplainReport form)."""
+        return {
+            "backend": self.backend,
+            "candidates": [entry.to_dict() for entry in self.ranked],
+        }
 
     def render(self) -> str:
         """The EXPLAIN candidate table (``* `` marks the winner)."""
@@ -122,8 +139,12 @@ def enumerate_plan_candidates(
         ("original", "original", query, None)
     ]
     if rewrite:
+        # Rewrite enumeration only ever consults the schema through the
+        # query's own labels — prune it first so candidate generation
+        # stays flat however wide the full schema grows.
         for label, result in enumerate_rewrites(
-            query, schema, options, max_partial=max_partial
+            query, prune_schema_for_query(schema, query), options,
+            max_partial=max_partial,
         ):
             source = "rewritten" if label == "rewritten" else "partial"
             sources.append((label, source, result.query, result))
@@ -209,10 +230,16 @@ def plan_query(
     rewrite: bool = True,
     options: RewriteOptions | None = None,
     fixpoint_growth: float | None = None,
+    profile: CostProfile | None = None,
     max_partial: int = DEFAULT_MAX_PARTIAL,
     join_orders: int = DEFAULT_JOIN_ORDERS,
 ) -> PlanChoice:
-    """Enumerate, cost and rank every candidate plan for one query."""
+    """Enumerate, cost and rank every candidate plan for one query.
+
+    ``profile`` overrides the backend's built-in cost profile — the hook
+    a session's calibrated profile (fitted from measured operator
+    timings) enters the planner through.
+    """
     estimator = Estimator(store, fixpoint_growth=fixpoint_growth)
     candidates = enumerate_plan_candidates(
         query,
@@ -224,4 +251,6 @@ def plan_query(
         max_partial=max_partial,
         join_orders=join_orders,
     )
-    return rank_candidates(candidates, store, backend, estimator=estimator)
+    return rank_candidates(
+        candidates, store, backend, estimator=estimator, profile=profile
+    )

@@ -59,6 +59,56 @@ class CostProfile:
     fixpoint_row: float  # per row tracked across fixpoint rounds
     startup: float       # flat charge per physical operator
 
+    def to_dict(self) -> dict:
+        """JSON-serializable weight mapping (calibration persistence)."""
+        return {
+            "name": self.name,
+            "scan": self.scan,
+            "join_build": self.join_build,
+            "join_probe": self.join_probe,
+            "join_out": self.join_out,
+            "dedup": self.dedup,
+            "select": self.select,
+            "fixpoint_row": self.fixpoint_row,
+            "startup": self.startup,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CostProfile":
+        fields = {
+            "scan", "join_build", "join_probe", "join_out",
+            "dedup", "select", "fixpoint_row", "startup",
+        }
+        unknown = sorted(set(payload) - fields - {"name"})
+        if unknown:
+            raise ValueError(
+                f"unknown cost-profile field(s): {', '.join(unknown)}"
+            )
+        missing = sorted(fields - set(payload)) + (
+            [] if "name" in payload else ["name"]
+        )
+        if missing:
+            raise ValueError(
+                f"cost profile missing field(s): {', '.join(missing)}"
+            )
+        name = payload["name"]
+        if not isinstance(name, str):
+            raise ValueError(f"cost-profile name must be a string, got {name!r}")
+        weights = {}
+        for field in sorted(fields):
+            value = payload[field]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"cost-profile weight {field!r} must be a number, "
+                    f"got {value!r}"
+                )
+            if value < 0:
+                raise ValueError(
+                    f"cost-profile weight {field!r} must be >= 0, got {value!r}"
+                )
+            weights[field] = float(value)
+        return cls(name=name, **weights)
+
 
 #: The tuple-at-a-time interpreter: per-row work dominates everything.
 _RA_PROFILE = CostProfile(
@@ -191,3 +241,67 @@ def cost_term(
         raise TypeError(f"unknown RA term {node!r}")
 
     return visit(term)
+
+
+#: The operator kinds telemetry is recorded under — one entry per
+#: ``*_rows``/``*_seconds`` counter pair on
+#: :class:`~repro.exec.executor.ExecutionStats`.
+OPERATOR_KINDS = ("scan", "join", "union", "select", "project", "fixpoint")
+
+
+def estimate_kind_rows(
+    term: RaTerm,
+    store: RelationalStore,
+    estimator: Estimator | None = None,
+) -> dict[str, float]:
+    """Estimated output rows per operator kind for one term.
+
+    Mirrors the executors' per-kind actual-row counters (each operator
+    contributes its *output* cardinality to its kind), so the pairs
+    (estimate, actual) feed Q-error accounting directly. Operators
+    inside a fixpoint step are charged once per assumed semi-naive
+    round, matching :func:`cost_term`'s model — the Q-error then
+    measures the cost model's real estimation error, rounds included.
+    Renames and frontier scans contribute nothing, exactly like the
+    executors.
+    """
+    estimator = estimator or Estimator(store)
+    totals = {kind: 0.0 for kind in OPERATOR_KINDS}
+
+    def visit(node: RaTerm, multiplier: float) -> None:
+        rows = max(estimator.rows(node), 0.0) * multiplier
+        if isinstance(node, Rel):
+            totals["scan"] += rows
+            return
+        if isinstance(node, Var):
+            return
+        if isinstance(node, Rename):
+            visit(node.child, multiplier)
+            return
+        if isinstance(node, Project):
+            totals["project"] += rows
+            visit(node.child, multiplier)
+            return
+        if isinstance(node, SelectEq):
+            totals["select"] += rows
+            visit(node.child, multiplier)
+            return
+        if isinstance(node, Join):
+            totals["join"] += rows
+            visit(node.left, multiplier)
+            visit(node.right, multiplier)
+            return
+        if isinstance(node, RaUnion):
+            totals["union"] += rows
+            visit(node.left, multiplier)
+            visit(node.right, multiplier)
+            return
+        if isinstance(node, Fix):
+            totals["fixpoint"] += rows
+            visit(node.base, multiplier)
+            visit(node.step, multiplier * _FIXPOINT_ROUNDS)
+            return
+        raise TypeError(f"unknown RA term {node!r}")
+
+    visit(term, 1.0)
+    return totals

@@ -12,7 +12,8 @@ evaluator, reproducing the paper's per-query timeout.
 
 from __future__ import annotations
 
-from typing import Mapping
+import time
+from typing import TYPE_CHECKING, Mapping
 
 from repro.errors import EvaluationError
 from repro.graph.evaluator import EvalBudget
@@ -29,6 +30,9 @@ from repro.ra.terms import (
 )
 from repro.storage.relational import RelationalStore
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exec.executor import ExecutionStats
+
 Rows = set[tuple]
 Result = tuple[tuple[str, ...], Rows]
 
@@ -39,10 +43,19 @@ def evaluate_term(
     term: RaTerm,
     store: RelationalStore,
     budget: EvalBudget | None = None,
+    stats: "ExecutionStats | None" = None,
 ) -> Result:
-    """Evaluate ``term`` against ``store``; returns (columns, rows)."""
+    """Evaluate ``term`` against ``store``; returns (columns, rows).
+
+    ``stats``, when given, accumulates per-operator-kind actual row
+    counts and exclusive wall-clock timings — the same telemetry the
+    vectorized executor records, so profile calibration treats both
+    µ-RA substrates uniformly.
+    """
     budget = budget or _NO_BUDGET
-    return _eval(term, store, budget, {}, _Memo())
+    memo = _Memo()
+    memo.stats = stats
+    return _eval(term, store, budget, {}, memo)
 
 
 class _Memo:
@@ -53,11 +66,17 @@ class _Memo:
     query), so identity-keyed caching makes shared work run once. Only
     terms without free recursion variables are cached — a term inside a
     fixpoint step sees a changing environment.
+
+    The memo also carries the (optional) telemetry sink for this
+    evaluation: ``stats`` plus the child-time stack that turns per-frame
+    wall clock into exclusive per-operator time.
     """
 
     def __init__(self) -> None:
         self.results: dict[int, Result] = {}
         self._closed: dict[int, bool] = {}
+        self.stats: "ExecutionStats | None" = None
+        self.child_seconds: list[float] = []
 
     def is_closed(self, term: RaTerm) -> bool:
         key = id(term)
@@ -79,10 +98,58 @@ def _eval(
     if cacheable:
         hit = memo.results.get(id(term))
         if hit is not None:
+            if memo.stats is not None:
+                memo.stats.memo_hits += 1
             return hit
-    result = _eval_uncached(term, store, budget, env, memo)
+    if memo.stats is None:
+        result = _eval_uncached(term, store, budget, env, memo)
+    else:
+        result = _eval_instrumented(term, store, budget, env, memo)
     if cacheable:
         memo.results[id(term)] = result
+    return result
+
+
+def _eval_instrumented(
+    term: RaTerm,
+    store: RelationalStore,
+    budget: EvalBudget,
+    env: Mapping[str, Result],
+    memo: _Memo,
+) -> Result:
+    """One `_eval_uncached` frame with row counting and exclusive timing."""
+    stats = memo.stats
+    assert stats is not None
+    started = time.perf_counter()
+    memo.child_seconds.append(0.0)
+    try:
+        result = _eval_uncached(term, store, budget, env, memo)
+    finally:
+        child = memo.child_seconds.pop()
+    elapsed = time.perf_counter() - started
+    if memo.child_seconds:
+        memo.child_seconds[-1] += elapsed
+    exclusive = max(elapsed - child, 0.0)
+    stats.ops_evaluated += 1
+    rows = len(result[1])
+    if isinstance(term, Rel):
+        stats.scan_rows += rows
+        stats.scan_seconds += exclusive
+    elif isinstance(term, Join):
+        stats.join_rows += rows
+        stats.join_seconds += exclusive
+    elif isinstance(term, RaUnion):
+        stats.union_rows += rows
+        stats.union_seconds += exclusive
+    elif isinstance(term, SelectEq):
+        stats.select_rows += rows
+        stats.select_seconds += exclusive
+    elif isinstance(term, Project):
+        stats.project_rows += rows
+        stats.project_seconds += exclusive
+    elif isinstance(term, Fix):
+        stats.fixpoint_rows += rows
+        stats.fixpoint_seconds += exclusive
     return result
 
 
@@ -233,6 +300,8 @@ def _eval_fixpoint(
     memo: _Memo,
 ) -> Result:
     columns, total = _eval(term.base, store, budget, env, memo)
+    if memo.stats is not None:
+        memo.stats.fixpoint_base_rows += len(total)
     if _is_linear(term.step, term.var):
         # Semi-naive: feed only the newly discovered rows through the step.
         delta = set(total)

@@ -32,6 +32,7 @@ the CLI, tests) can see the batching effect instead of trusting it.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping, Sequence
 
@@ -40,13 +41,14 @@ from repro.exec.executor import ExecutionStats, execute_batch_programs
 from repro.exec.kernels import get_kernel
 from repro.exec.parallel import default_parallelism
 from repro.graph.evaluator import EvalBudget
+from repro.planner import OPERATOR_KINDS, estimate_kind_rows
 from repro.query.model import UCQT
 from repro.query.parser import parse_query
-from repro.ra.stats import store_statistics
-from repro.storage.relational import incremental_enabled
+from repro.ra.stats import Estimator, store_statistics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.rewriter import RewriteOptions
+    from repro.engine.options import ExecOptions
     from repro.engine.session import GraphSession, PreparedQuery
 
 
@@ -65,6 +67,10 @@ class BatchReport:
     queries: int
     distinct_plans: int
     execution: ExecutionStats | None = None
+    #: Distinct plans per concrete backend when the batch ran with
+    #: ``backend="auto"`` (the calibrated cost model picks a substrate
+    #: per query); ``None`` for a uniform-backend batch.
+    backend_choices: Mapping[str, int] | None = None
 
     @property
     def duplicate_queries(self) -> int:
@@ -82,13 +88,14 @@ class BatchOutcome:
 def execute_batch(
     session: "GraphSession",
     queries: Sequence[UCQT | str],
-    backend: str = "vec",
+    backend: str | None = None,
     *,
     timeout_seconds: float | None = None,
     rewrite: bool = True,
     options: "RewriteOptions | None" = None,
     backend_options: Mapping | None = None,
     planner: str | None = None,
+    exec_options: "ExecOptions | None" = None,
 ) -> BatchOutcome:
     """Prepare and execute ``queries`` as one batch on ``backend``.
 
@@ -100,7 +107,18 @@ def execute_batch(
     statistics snapshot and its adaptive corrections are shared across
     the whole batch), and the batch's :class:`ExecutionStats` then carry
     the summed estimated-vs-actual root cardinalities.
+
+    With ``backend="auto"`` each distinct query is planned onto the
+    backend the (calibrated) cost model ranks cheapest for it — one
+    batch can execute on several substrates, with every ``vec``-chosen
+    plan still going through the shared batch runner and the rest
+    executing per plan. ``BatchReport.backend_choices`` records the
+    split.
     """
+    requested = backend
+    if requested is None:
+        merged = session.exec_options.merged(exec_options)
+        requested = merged.backend or "vec"
     parsed = [
         parse_query(query) if isinstance(query, str) else query
         for query in queries
@@ -115,28 +133,40 @@ def execute_batch(
         if key not in prepared:
             prepared[key] = session.prepare(
                 query,
-                backend,
+                requested,
                 rewrite=rewrite,
                 options=options,
                 backend_options=backend_options,
                 planner=planner,
+                exec_options=exec_options,
             )
-    if backend == "vec":
+    vec_handles = {
+        key: handle
+        for key, handle in prepared.items()
+        if handle.backend_name == "vec"
+    }
+    rows_by_key: dict[str, frozenset[tuple]] = {}
+    stats: ExecutionStats | None = None
+    if vec_handles:
         rows_by_key, stats = _execute_vec_shared(
-            session, prepared, timeout_seconds
+            session, vec_handles, timeout_seconds
         )
-    else:
-        stats = None
-        rows_by_key = {
-            key: plan.execute(timeout_seconds)
-            for key, plan in prepared.items()
-        }
+    for key, handle in prepared.items():
+        if key not in vec_handles:
+            rows_by_key[key] = handle.execute(timeout_seconds)
+    backend_choices: dict[str, int] | None = None
+    if requested == "auto":
+        backend_choices = {}
+        for handle in prepared.values():
+            name = handle.backend_name
+            backend_choices[name] = backend_choices.get(name, 0) + 1
     report = BatchReport(
-        backend=backend,
+        backend=requested,
         fingerprint=session.schema_fingerprint,
         queries=len(parsed),
         distinct_plans=len(prepared),
         execution=stats,
+        backend_choices=backend_choices,
     )
     return BatchOutcome(
         results=tuple(rows_by_key[key] for key in keys), report=report
@@ -193,13 +223,14 @@ def _execute_vec_shared(
     if runnable:
         version_before = session.store.version
         captures: list[dict | None] | None = None
-        if incremental_enabled():
+        if session._incremental_active():
             # Capture closed-fixpoint totals for cacheable plans so the
             # stored entries can be maintained after append-only writes.
             captures = [
                 {} if cache_key is not None else None
                 for _, _, _, cache_key in runnable
             ]
+        started = time.perf_counter()
         results = execute_batch_programs(
             [plan.program for _, _, plan, _ in runnable],
             session.store,
@@ -211,11 +242,14 @@ def _execute_vec_shared(
             morsel_size=morsel_size,
             fix_captures=captures,
         )
+        elapsed = time.perf_counter() - started
         cost_planned = False
+        actual_total = 0
         for index, ((key, handle, _, cache_key), rows) in enumerate(
             zip(runnable, results)
         ):
             rows_by_key[key] = rows
+            actual_total += len(rows)
             if cache_key is not None:
                 capture = captures[index] if captures is not None else None
                 session._store_result(cache_key, rows, version_before, capture)
@@ -235,4 +269,51 @@ def _execute_vec_shared(
                 store_statistics(session.store).observe_fixpoint_growth(
                     growth
                 )
+        _record_batch_telemetry(
+            session, runnable, stats, elapsed, actual_total
+        )
     return rows_by_key, stats
+
+
+def _record_batch_telemetry(
+    session: "GraphSession",
+    runnable: "list[tuple[str, PreparedQuery, VecPlan, tuple | None]]",
+    stats: ExecutionStats,
+    seconds: float,
+    actual_total: int,
+) -> None:
+    """One pooled calibration record for a shared batch execution.
+
+    The shared runner memoises common subtrees across plans, so
+    per-plan attribution of operator timings is impossible — the batch
+    contributes a single record with estimates summed over the plans
+    that actually executed (cache hits excluded). Root estimates come
+    from each plan's cost-planner winner when available, else from the
+    estimator.
+    """
+    estimator = Estimator(session.store)
+    op_estimates = {kind: 0.0 for kind in OPERATOR_KINDS}
+    estimated_total = 0.0
+    predicted_total = 0.0
+    predicted_known = True
+    for _, handle, plan, _ in runnable:
+        for kind, rows in estimate_kind_rows(
+            plan.term, session.store, estimator
+        ).items():
+            op_estimates[kind] += rows
+        if handle.choice is not None:
+            estimated_total += handle.choice.winner.rows
+            predicted_total += handle.choice.winner.cost
+        else:
+            estimated_total += estimator.rows(plan.term)
+            predicted_known = False
+    session.calibration_log.record_execution(
+        backend="vec",
+        workload=session.workload_tag,
+        seconds=seconds,
+        stats=stats,
+        op_estimates=op_estimates,
+        estimated_rows=estimated_total,
+        actual_rows=actual_total,
+        predicted_cost=predicted_total if predicted_known else None,
+    )

@@ -39,6 +39,7 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro.engine.options import ExecOptions
 from repro.engine.session import GraphSession
 from repro.errors import QueryTimeout, ServiceClosedError
 from repro.query.model import UCQT
@@ -96,6 +97,7 @@ class QueryService:
         rewrite: bool = True,
         backend_options: Mapping | None = None,
         planner: str | None = None,
+        exec_options: "ExecOptions | None" = None,
     ):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -115,6 +117,9 @@ class QueryService:
         #: "cost" routes all admission batches through the shared cost
         #: model and its adaptive corrections.
         self.planner = planner
+        #: Unified execution options applied to every batch (overlaid on
+        #: the session's defaults; the legacy kwargs above overlay these).
+        self.exec_options = exec_options
         self.stats = ServiceStats()
         # Pending requests, grouped by the admission key (by default the
         # schema fingerprint) they were submitted under; OrderedDict
@@ -301,6 +306,7 @@ class QueryService:
                     rewrite=self.rewrite,
                     backend_options=self.backend_options,
                     planner=self.planner,
+                    exec_options=self.exec_options,
                 )
 
         if self.backend in _THREAD_SAFE_BACKENDS:

@@ -17,9 +17,12 @@ never map exceptions ad hoc.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.errors import ReproError, RequestError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.options import ExecOptions
 
 #: Hard caps on request shapes — breaches are 400s, not truncations.
 MAX_QUERY_CHARS = 20_000
@@ -108,14 +111,33 @@ def _backend_field(payload: Mapping) -> str:
     from repro.engine import available_backends
 
     backend = payload.get("backend", DEFAULT_BACKEND)
+    if backend == "auto":
+        # Not a registered backend: the session's calibrated cost model
+        # picks the concrete substrate per query.
+        return backend
     names = available_backends()
     if backend not in names:
         raise RequestError(
             f"unknown backend {backend!r}; registered backends: "
-            f"{', '.join(names)}",
+            f"{', '.join(names)}, auto",
             field="backend",
         )
     return backend
+
+
+def _options_field(payload: Mapping) -> "ExecOptions | None":
+    """The unified ``options`` object (execution knobs), validated."""
+    value = payload.get("options")
+    if value is None:
+        return None
+    from repro.engine.options import ExecOptions
+
+    try:
+        return ExecOptions.from_mapping(
+            _require_mapping(value, "options")
+        )
+    except ValueError as error:
+        raise RequestError(str(error), field="options") from error
 
 
 def _planner_field(payload: Mapping) -> str | None:
@@ -166,9 +188,11 @@ class QueryRequest:
     timeout_seconds: float | None = None
     rewrite: bool = True
     planner: str | None = None
+    options: "ExecOptions | None" = None
 
     FIELDS = frozenset(
-        {"query", "backend", "timeout_seconds", "rewrite", "planner"}
+        {"query", "backend", "timeout_seconds", "rewrite", "planner",
+         "options"}
     )
 
     @classmethod
@@ -181,6 +205,7 @@ class QueryRequest:
             timeout_seconds=_timeout_field(payload),
             rewrite=_bool_field(payload, "rewrite", True),
             planner=_planner_field(payload),
+            options=_options_field(payload),
         )
 
 
@@ -193,9 +218,11 @@ class BatchRequest:
     timeout_seconds: float | None = None
     rewrite: bool = True
     planner: str | None = None
+    options: "ExecOptions | None" = None
 
     FIELDS = frozenset(
-        {"queries", "backend", "timeout_seconds", "rewrite", "planner"}
+        {"queries", "backend", "timeout_seconds", "rewrite", "planner",
+         "options"}
     )
 
     @classmethod
@@ -231,6 +258,7 @@ class BatchRequest:
             timeout_seconds=_timeout_field(payload),
             rewrite=_bool_field(payload, "rewrite", True),
             planner=_planner_field(payload),
+            options=_options_field(payload),
         )
 
 
@@ -288,8 +316,9 @@ class ExplainRequest:
     backend: str = DEFAULT_BACKEND
     rewrite: bool = True
     planner: str | None = None
+    options: "ExecOptions | None" = None
 
-    FIELDS = frozenset({"query", "backend", "rewrite", "planner"})
+    FIELDS = frozenset({"query", "backend", "rewrite", "planner", "options"})
 
     @classmethod
     def from_payload(cls, payload: object) -> "ExplainRequest":
@@ -300,6 +329,7 @@ class ExplainRequest:
             backend=_backend_field(payload),
             rewrite=_bool_field(payload, "rewrite", True),
             planner=_planner_field(payload),
+            options=_options_field(payload),
         )
 
 

@@ -287,6 +287,7 @@ class Tenant:
             and request.rewrite == self.service.rewrite
             and (request.planner is None
                  or request.planner == self.service.planner)
+            and request.options is None
         )
 
     # -- operations --------------------------------------------------------
@@ -343,6 +344,7 @@ class Tenant:
                             timeout_seconds=budget,
                             rewrite=request.rewrite,
                             planner=request.planner,
+                            exec_options=request.options,
                         )
 
                 results = await self._offload(request.backend, run)
@@ -410,20 +412,24 @@ class Tenant:
     async def _explain(self, request: ExplainRequest) -> dict:
         await self._admit(self.quotas.timeout_seconds)
         try:
-            def run() -> str:
+            def run():
                 with self.service._session_lock:
                     return self.session.explain(
                         request.query,
                         request.backend,
                         rewrite=request.rewrite,
                         planner=request.planner,
+                        exec_options=request.options,
                     )
 
-            plan = await self._offload(request.backend, run)
+            report = await self._offload(request.backend, run)
+            # "plan" stays the rendered text (the pre-report wire shape);
+            # "report" is the same ExplainReport, structured.
             return {
                 "tenant": self.name,
-                "backend": request.backend,
-                "plan": plan,
+                "backend": report.backend,
+                "plan": report.render(),
+                "report": report.to_dict(),
             }
         finally:
             self._release()
@@ -453,6 +459,7 @@ class Tenant:
                     timeout_seconds=budget,
                     rewrite=request.rewrite,
                     planner=request.planner,
+                    exec_options=request.options,
                 )
 
         return await self._offload(request.backend, run)

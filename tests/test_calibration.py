@@ -1,0 +1,270 @@
+"""Tests for cost-model calibration: the telemetry log, Q-error
+arithmetic and its edge cases, least-squares profile fitting, the JSON
+round-trip, and the session-level telemetry -> fit -> exploit loop
+(including ``backend="auto"`` per-query backend choice)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import GraphSession
+from repro.graph.model import yago_example_graph
+from repro.planner import (
+    CalibrationLog,
+    CalibrationState,
+    CostProfile,
+    calibrate_from_log,
+    cost_profile,
+    fit_profile,
+    q_error,
+    q_error_summary,
+)
+from repro.schema.builder import yago_example_schema
+from repro.serve import execute_batch
+
+WORKLOAD = [
+    "x1, x2 <- (x1, isLocatedIn, x2)",
+    "x1, x2 <- (x1, isLocatedIn+, x2)",
+    "x1, x2 <- (x1, livesIn/isLocatedIn+, x2)",
+    "x1, x3 <- (x1, isLocatedIn, x2) && (x2, isLocatedIn, x3)",
+]
+
+
+def _session(**kwargs) -> GraphSession:
+    return GraphSession(
+        yago_example_graph(), yago_example_schema(), **kwargs
+    )
+
+
+def _run_workload(session, backends=("vec", "ra", "sqlite")) -> None:
+    for backend in backends:
+        for query in WORKLOAD:
+            session.execute(query, backend, planner="cost")
+
+
+# -- Q-error arithmetic -------------------------------------------------------
+class TestQError:
+    def test_symmetric_and_floored_at_one(self):
+        assert q_error(10, 100) == q_error(100, 10) == 10.0
+        assert q_error(7, 7) == 1.0
+
+    def test_zero_actual_is_floored_not_divided(self):
+        # An estimator that said 0 for a 0-row result is perfect, and a
+        # 0-row result never raises ZeroDivisionError.
+        assert q_error(0, 0) == 1.0
+        assert q_error(100, 0) == 100.0
+
+    def test_cold_stats_zero_estimate(self):
+        assert q_error(0, 50) == 50.0
+
+    def test_missing_estimate_is_none(self):
+        assert q_error(None, 42) is None
+
+    def test_summary_per_workload(self):
+        log = CalibrationLog()
+        log.record_execution(
+            backend="ra", workload="a", seconds=0.1,
+            estimated_rows=10, actual_rows=10,
+        )
+        log.record_execution(
+            backend="ra", workload="a", seconds=0.1,
+            estimated_rows=10, actual_rows=40,
+        )
+        log.record_execution(
+            backend="ra", workload="b", seconds=0.1,
+            estimated_rows=None, actual_rows=5,
+        )
+        summary = log.summary()
+        assert summary["a"]["root"]["count"] == 2
+        assert summary["a"]["root"]["p50"] == 1.0
+        assert summary["a"]["root"]["max"] == 4.0
+        # No record of workload "b" carried a root estimate.
+        assert summary["b"]["root"] is None
+
+    def test_summary_of_empty_log(self):
+        assert q_error_summary(()) == {}
+
+
+# -- the telemetry log --------------------------------------------------------
+class TestCalibrationLog:
+    def test_bounded_oldest_drop_first(self):
+        log = CalibrationLog(max_records=2)
+        for index in range(5):
+            log.record_execution(
+                backend="ra", workload="w", seconds=0.1,
+                estimated_rows=index, actual_rows=index,
+            )
+        assert len(log) == 2
+        assert log.total_recorded == 5
+        assert [record.estimated_rows for record in log.records] == [3, 4]
+
+    def test_session_records_vec_and_ra_operator_telemetry(self):
+        session = _session()
+        with session:
+            _run_workload(session, backends=("vec", "ra"))
+            records = session.calibration_log.records
+        assert {record.backend for record in records} == {"vec", "ra"}
+        for record in records:
+            assert record.seconds >= 0.0
+            assert any(record.op_rows.values())
+            assert record.op_seconds
+
+    def test_sqlite_records_are_totals_only(self):
+        session = _session()
+        with session:
+            _run_workload(session, backends=("sqlite",))
+            records = session.calibration_log.records
+        assert records
+        for record in records:
+            assert record.backend == "sqlite"
+            # Black box: no per-operator telemetry, only totals.
+            assert not any(record.op_rows.values())
+            assert not any(record.op_seconds.values())
+            assert record.predicted_cost is not None  # cost-planned
+
+    def test_workload_tag_reaches_records(self):
+        session = _session(workload="nightly")
+        with session:
+            session.execute(WORKLOAD[0], "ra", planner="cost")
+            record = session.calibration_log.records[-1]
+        assert record.workload == "nightly"
+
+
+# -- fitting ------------------------------------------------------------------
+class TestFitting:
+    def test_fit_yields_positive_seconds_scale_weights(self):
+        session = _session()
+        with session:
+            _run_workload(session)
+            state = session.calibrate()
+        assert set(state.fitted_backends) == {"ra", "sqlite", "vec"}
+        for profile in state.profiles.values():
+            for field in ("scan", "join_out", "dedup", "select",
+                          "fixpoint_row"):
+                assert getattr(profile, field) > 0.0
+
+    def test_empty_log_returns_base_profile(self):
+        base = cost_profile("vec")
+        assert fit_profile((), "vec", base) is base
+
+    def test_fit_ignores_other_backends(self):
+        log = CalibrationLog()
+        log.record_execution(
+            backend="ra", workload="w", seconds=1.0, estimated_rows=1,
+            actual_rows=1, predicted_cost=2.0,
+        )
+        base = cost_profile("vec")
+        assert fit_profile(log.records, "vec", base) is base
+
+    def test_scalar_fit_rescales_without_reshaping(self):
+        # Totals-only records (sqlite) scale the hand-set profile by one
+        # least-squares factor: relative weights are preserved.
+        log = CalibrationLog()
+        for cost, seconds in ((100.0, 1.0), (200.0, 2.0), (400.0, 4.0)):
+            log.record_execution(
+                backend="sqlite", workload="w", seconds=seconds,
+                estimated_rows=10, actual_rows=10, predicted_cost=cost,
+            )
+        base = cost_profile("sqlite")
+        fitted = fit_profile(log.records, "sqlite", base)
+        assert fitted.scan == pytest.approx(base.scan * 0.01)
+        assert fitted.join_out / fitted.scan == pytest.approx(
+            base.join_out / base.scan
+        )
+
+
+# -- persistence --------------------------------------------------------------
+class TestPersistence:
+    def test_json_round_trip(self, tmp_path):
+        session = _session()
+        with session:
+            _run_workload(session)
+            state = session.calibrate(
+                persist_path=tmp_path / "calibration.json"
+            )
+        loaded = CalibrationState.load(tmp_path / "calibration.json")
+        assert loaded.records == state.records
+        assert loaded.fitted_backends == state.fitted_backends
+        for name in state.fitted_backends:
+            assert loaded.profiles[name] == state.profiles[name]
+        assert loaded.q_error == json.loads(json.dumps(state.q_error))
+
+    def test_reload_reproduces_plan_choices(self, tmp_path):
+        path = tmp_path / "calibration.json"
+        session = _session()
+        with session:
+            _run_workload(session)
+            session.calibrate(persist_path=path)
+            original = {
+                query: session.prepare(
+                    query, "auto", planner="cost"
+                ).backend_name
+                for query in WORKLOAD
+            }
+        # A fresh serving process boots from the persisted file and must
+        # route every query identically.
+        rebooted = _session(calibration=str(path))
+        with rebooted:
+            for query, backend_name in original.items():
+                prepared = rebooted.prepare(query, "auto", planner="cost")
+                assert prepared.backend_name == backend_name
+
+    def test_rejects_unknown_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "other/v9"}))
+        with pytest.raises(ValueError, match="unsupported calibration"):
+            CalibrationState.load(path)
+
+    def test_rejects_malformed_profiles(self):
+        with pytest.raises(ValueError):
+            CalibrationState.from_json(
+                {"format": "repro-calibration/v1", "profiles": []}
+            )
+
+
+# -- exploitation -------------------------------------------------------------
+class TestAutoBackend:
+    def test_auto_resolves_to_concrete_backend(self):
+        session = _session()
+        with session:
+            prepared = session.prepare(WORKLOAD[0], "auto")
+            assert prepared.backend_name in ("vec", "ra", "sqlite")
+            rows = session.execute(WORKLOAD[0], "auto")
+            uniform = session.execute(WORKLOAD[0], "ra")
+        assert rows == uniform
+
+    def test_calibrated_batch_reports_choices(self):
+        session = _session()
+        with session:
+            _run_workload(session)
+            session.calibrate()
+            outcome = execute_batch(session, WORKLOAD, "auto")
+            report = outcome.report
+            assert report.backend == "auto"
+            assert report.backend_choices
+            assert sum(report.backend_choices.values()) == len(WORKLOAD)
+            for query, rows in zip(WORKLOAD, outcome.results):
+                assert rows == session.execute(query, "ra")
+
+    def test_calibration_state_surfaces_in_planner_stats(self):
+        session = _session()
+        with session:
+            _run_workload(session, backends=("ra",))
+            stats = session.planner_stats["calibration"]
+            assert stats["records"] == len(WORKLOAD)
+            assert stats["fitted_backends"] == []
+            session.calibrate()
+            stats = session.planner_stats["calibration"]
+            assert stats["fitted_backends"] == ["ra"]
+            assert "default" in stats["q_error"]
+
+    def test_explain_carries_q_error_after_executions(self):
+        session = _session()
+        with session:
+            session.execute(WORKLOAD[0], "ra", planner="cost")
+            report = session.explain(WORKLOAD[0], "ra")
+        assert report.q_error is not None
+        assert "-- q-error (ra): " in report.render()
+        assert report.q_error["count"] >= 1

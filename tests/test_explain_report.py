@@ -1,0 +1,114 @@
+"""Tests for the structured :class:`ExplainReport`: render() must stay
+byte-identical to the pre-redesign opaque explain string, section by
+section, while to_dict() exposes the same pieces as data."""
+
+from __future__ import annotations
+
+import json
+
+from repro.engine import GraphSession
+from repro.engine.report import UNSATISFIABLE_TEXT, ExplainReport
+from repro.graph.model import yago_example_graph
+from repro.schema.builder import yago_example_schema
+
+#: The pinned query for the byte-identity checks.
+QUERY = "x1, x2 <- (x1, isLocatedIn+, x2)"
+# 'livesIn' ends at CITY and starts at PERSON: composing it with
+# itself admits no schema typing, so inference proves the empty result.
+UNSAT_QUERY = "x1, x2 <- (x1, livesIn/livesIn, x2)"
+
+
+def _session(**kwargs) -> GraphSession:
+    return GraphSession(
+        yago_example_graph(), yago_example_schema(), **kwargs
+    )
+
+
+class TestByteIdentity:
+    def test_plain_explain_is_exactly_the_backend_plan_text(self):
+        # Pre-redesign, explain of a greedy plan with no result cache
+        # was the backend's plan text and nothing else.
+        with _session() as session:
+            report = session.explain(QUERY, "ra")
+            prepared = session.prepare(QUERY, "ra")
+            expected = prepared.backend.explain(session, prepared.plan)
+        assert report.render() == expected
+
+    def test_cost_planned_explain_appends_candidate_table(self):
+        with _session(planner="cost") as session:
+            report = session.explain(QUERY, "ra")
+        assert report.choice is not None
+        assert report.render() == (
+            f"{report.plan_text}\n\n{report.choice.render()}"
+        )
+        assert "-- planner candidates (cost model: ra) --" in report.render()
+
+    def test_result_cache_footer_format(self):
+        with _session(result_cache_size=8) as session:
+            session.execute(QUERY, "vec")
+            session.execute(QUERY, "vec")
+            report = session.explain(QUERY, "vec")
+        # The first execution also left one telemetry record, so the
+        # q-error footer rides along after the cache footer.
+        assert report.render() == (
+            f"{report.plan_text}\n\n"
+            "-- result cache: 1 hit(s), 1 miss(es), "
+            "1 cached result set(s) --\n\n"
+            "-- q-error (vec): 1 execution(s), "
+            "p50 1.00, p90 1.00, max 1.00 --"
+        )
+
+    def test_unsatisfiable_section_is_fixed_text(self):
+        with _session() as session:
+            report = session.explain(UNSAT_QUERY, "ra")
+        assert report.unsatisfiable
+        assert report.plan_text is None
+        assert report.render() == UNSATISFIABLE_TEXT
+
+    def test_pinned_full_assembly(self):
+        # A fully synthetic report pins every byte of the assembly:
+        # section order, separators, wording and number formatting.
+        report = ExplainReport(
+            backend="vec",
+            query=QUERY,
+            plan_text="Scan(isLocatedIn)",
+            q_error={
+                "count": 3, "p50": 1.0, "p90": 2.5, "max": 4.125,
+                "calibrated": True,
+            },
+        )
+        assert report.render() == (
+            "Scan(isLocatedIn)\n\n"
+            "-- q-error (vec, calibrated): 3 execution(s), "
+            "p50 1.00, p90 2.50, max 4.12 --"
+        )
+
+
+class TestStringCompatibility:
+    def test_str_and_membership_delegate_to_render(self):
+        with _session() as session:
+            report = session.explain(QUERY, "ra")
+        assert str(report) == report.render()
+        assert "Fix" in report or "isLocatedIn" in report
+
+
+class TestToDict:
+    def test_json_serializable_and_mirrors_sections(self):
+        with _session(planner="cost", result_cache_size=8) as session:
+            session.execute(QUERY, "vec")
+            payload = session.explain(QUERY, "vec").to_dict()
+        json.dumps(payload)  # must be wire-ready as-is
+        assert payload["backend"] == "vec"
+        assert payload["query"] == QUERY
+        assert payload["unsatisfiable"] is False
+        assert any(
+            entry["chosen"] for entry in payload["candidates"]["candidates"]
+        )
+        assert payload["result_cache"]["misses"] == 1
+        assert payload["q_error"]["count"] == 1
+
+    def test_unsatisfiable_payload(self):
+        with _session() as session:
+            payload = session.explain(UNSAT_QUERY, "ra").to_dict()
+        assert payload["unsatisfiable"] is True
+        assert payload["plan"] is None

@@ -62,6 +62,27 @@ def _new_edge(store, table="isLocatedIn"):
     raise AssertionError("example graph unexpectedly complete")
 
 
+def _new_conforming_edge(session, table="isLocatedIn"):
+    """A fresh edge whose endpoint labels satisfy a schema triple."""
+    store = session.store
+    present = store.table(table).rows
+    for edge in session.schema.edges():
+        if edge.edge_label != table:
+            continue
+        if not (
+            store.has_table(edge.source_label)
+            and store.has_table(edge.target_label)
+        ):
+            continue
+        sources = sorted(row[0] for row in store.table(edge.source_label).rows)
+        targets = sorted(row[0] for row in store.table(edge.target_label).rows)
+        for source in sources:
+            for target in targets:
+                if source != target and (source, target) not in present:
+                    return (source, target)
+    raise AssertionError("no conforming edge available")
+
+
 class TestAppendOnlyEncoding:
     def test_codes_survive_appends(self, session):
         store = session.store
@@ -250,9 +271,14 @@ class TestFallbacks:
     def test_rewritten_nonrecursive_plan_falls_back(self, session):
         # The schema rewriter eliminates the recursion, so the plan has
         # no fixpoint state to maintain — recomputation is the fallback.
+        # The appended edge must conform to the schema: a non-conforming
+        # edge would (correctly) disable rewriting instead.
         store = session.store
         session.execute(CLOSURE, "vec", rewrite=True)
-        store.add_rows("isLocatedIn", [_new_edge(store)])
+        store.add_rows(
+            "isLocatedIn", [_new_conforming_edge(session, "isLocatedIn")]
+        )
+        assert session.rewrite_sound()
         rows = session.execute(CLOSURE, "vec", rewrite=True)
         assert rows == _fresh_rows(store, CLOSURE, rewrite=True)
         assert session.cache_stats["maintenance"].results_invalidated == 1
