@@ -185,6 +185,12 @@ def _exec_options(args, planner: str | None = None):
         fields["parallelism"] = args.parallelism
     if getattr(args, "morsel_size", None) is not None:
         fields["morsel_size"] = args.morsel_size
+    if getattr(args, "max_rows", None) is not None:
+        fields["max_rows"] = args.max_rows
+    if getattr(args, "max_bytes", None) is not None:
+        fields["max_bytes"] = args.max_bytes
+    if getattr(args, "fallback", False):
+        fields["fallback"] = True
     return ExecOptions(**fields) if fields else None
 
 
@@ -583,6 +589,24 @@ def _add_parallel_arguments(parser) -> None:
     )
 
 
+def _add_governor_arguments(parser) -> None:
+    parser.add_argument(
+        "--max-rows", type=int, default=None, metavar="N",
+        help="resource governor: abort once evaluation has processed "
+        "more than N rows (error code resource_exhausted)",
+    )
+    parser.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="resource governor: abort once materialised intermediates "
+        "exceed ~N bytes (error code resource_exhausted)",
+    )
+    parser.add_argument(
+        "--fallback", action="store_true",
+        help="degrade gracefully: retry retryable failures down the "
+        "cost-ranked backend chain (circuit breakers per backend)",
+    )
+
+
 def _add_incremental_argument(parser) -> None:
     parser.add_argument(
         "--no-incremental", action="store_true",
@@ -689,6 +713,7 @@ def main(argv: list[str] | None = None) -> int:
         "--limit", type=int, default=20, help="rows to print (default 20)"
     )
     _add_parallel_arguments(query)
+    _add_governor_arguments(query)
     _add_planner_argument(query)
     _add_incremental_argument(query)
     _add_calibration_argument(query)
@@ -774,6 +799,7 @@ def main(argv: list[str] | None = None) -> int:
             "for serving: repeated queries skip execution entirely)",
         )
         _add_parallel_arguments(sub)
+        _add_governor_arguments(sub)
         _add_planner_argument(sub)
         _add_incremental_argument(sub)
         _add_calibration_argument(sub)

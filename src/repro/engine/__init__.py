@@ -27,6 +27,7 @@ from repro.engine.protocol import (
     get_backend,
     register_backend,
 )
+from repro.engine.resilience import BreakerConfig, CircuitBreaker, RetryPolicy
 from repro.engine.session import (
     GraphSession,
     PreparedQuery,
@@ -41,6 +42,9 @@ __all__ = [
     "get_backend",
     "available_backends",
     "schema_fingerprint",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "RetryPolicy",
     "CacheStats",
     "CachedResult",
     "LruCache",

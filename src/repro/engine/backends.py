@@ -33,7 +33,7 @@ from repro.exec.kernels import default_kernel, get_kernel
 from repro.exec.parallel import DEFAULT_MORSEL_SIZE, default_parallelism
 from repro.gdb.cypher import cypher_expressible, to_cypher
 from repro.gdb.patterns import GraphPattern, ucqt_to_patterns
-from repro.graph.evaluator import EvalBudget
+from repro.graph.evaluator import EvalBudget, as_budget
 from repro.query.evaluation import evaluate_ucqt
 from repro.query.model import UCQT
 from repro.ra.evaluate import evaluate_term
@@ -43,6 +43,7 @@ from repro.ra.stats import Estimator, validate_fixpoint_growth
 from repro.ra.terms import RaTerm, Rel
 from repro.ra.translate import TranslationContext, ucqt_to_ra
 from repro.sql.generate import ucqt_to_sql
+from repro.testing.faults import fault_point
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.session import GraphSession
@@ -122,7 +123,7 @@ class RaBackend:
         self,
         session: "GraphSession",
         plan: RaPlan,
-        timeout_seconds: float | None = None,
+        timeout_seconds: float | EvalBudget | None = None,
     ) -> frozenset[tuple]:
         return self.execute_with_stats(session, plan, timeout_seconds, None)
 
@@ -130,13 +131,14 @@ class RaBackend:
         self,
         session: "GraphSession",
         plan: RaPlan,
-        timeout_seconds: float | None = None,
+        timeout_seconds: float | EvalBudget | None = None,
         stats: ExecutionStats | None = None,
     ) -> frozenset[tuple]:
         """Execute, optionally collecting per-operator actual row counts
         and exclusive timings (the calibration telemetry)."""
+        fault_point("backend.execute.ra")
         columns, rows = evaluate_term(
-            plan.term, session.store, EvalBudget(timeout_seconds), stats
+            plan.term, session.store, as_budget(timeout_seconds), stats
         )
         if stats is not None:
             stats.programs += 1
@@ -268,7 +270,7 @@ class VecBackend:
         self,
         session: "GraphSession",
         plan: VecPlan,
-        timeout_seconds: float | None = None,
+        timeout_seconds: float | EvalBudget | None = None,
     ) -> frozenset[tuple]:
         return self.execute_with_stats(session, plan, timeout_seconds, None)
 
@@ -276,7 +278,7 @@ class VecBackend:
         self,
         session: "GraphSession",
         plan: VecPlan,
-        timeout_seconds: float | None = None,
+        timeout_seconds: float | EvalBudget | None = None,
         stats: ExecutionStats | None = None,
         fix_capture: dict | None = None,
     ) -> frozenset[tuple]:
@@ -288,6 +290,7 @@ class VecBackend:
         source :class:`~repro.ra.terms.Fix` term) — the states the
         result cache stores for incremental maintenance after writes.
         """
+        fault_point("backend.execute.vec")
         parallelism = (
             plan.parallelism
             if plan.parallelism is not None
@@ -297,7 +300,7 @@ class VecBackend:
             plan.program,
             session.store,
             head=plan.head,
-            budget=EvalBudget(timeout_seconds),
+            budget=as_budget(timeout_seconds),
             kernel=get_kernel(plan.kernel) if plan.kernel else None,
             parallelism=parallelism,
             morsel_size=plan.morsel_size,
@@ -376,8 +379,9 @@ class SqliteEngineBackend:
         self,
         session: "GraphSession",
         plan: SqlPlan,
-        timeout_seconds: float | None = None,
+        timeout_seconds: float | EvalBudget | None = None,
     ) -> frozenset[tuple]:
+        fault_point("backend.execute.sqlite")
         return session.sqlite.execute_sql(plan.sql, timeout_seconds)
 
     def explain(self, session: "GraphSession", plan: SqlPlan) -> str:
@@ -413,9 +417,10 @@ class GdbBackend:
         self,
         session: "GraphSession",
         plan: GdbPlan,
-        timeout_seconds: float | None = None,
+        timeout_seconds: float | EvalBudget | None = None,
     ) -> frozenset[tuple]:
-        budget = EvalBudget(timeout_seconds)
+        fault_point("backend.execute.gdb")
+        budget = as_budget(timeout_seconds)
         result: set[tuple] = set()
         for pattern in plan.patterns:
             result |= session.pattern_engine.evaluate_pattern(pattern, budget)
@@ -457,10 +462,11 @@ class ReferenceBackend:
         self,
         session: "GraphSession",
         plan: ReferencePlan,
-        timeout_seconds: float | None = None,
+        timeout_seconds: float | EvalBudget | None = None,
     ) -> frozenset[tuple]:
+        fault_point("backend.execute.reference")
         return evaluate_ucqt(
-            session.graph, plan.query, EvalBudget(timeout_seconds)
+            session.graph, plan.query, as_budget(timeout_seconds)
         )
 
     def explain(self, session: "GraphSession", plan: ReferencePlan) -> str:

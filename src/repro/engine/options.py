@@ -89,6 +89,9 @@ class ExecOptions:
     fixpoint_growth: float | None = None # estimator closure-growth override
     result_cache_size: int | None = None # session result-cache capacity
     incremental: bool | None = None      # session maintenance toggle
+    max_rows: int | None = None          # ResourceBudget cumulative row cap
+    max_bytes: int | None = None         # ResourceBudget intermediate-bytes cap
+    fallback: bool | None = None         # retry down the backend chain
 
     def __post_init__(self) -> None:
         for name in ("backend", "planner", "kernel"):
@@ -97,7 +100,7 @@ class ExecOptions:
                 raise ValueError(
                     f"exec option {name!r} must be a string, got {value!r}"
                 )
-        for name in ("parallelism", "morsel_size"):
+        for name in ("parallelism", "morsel_size", "max_rows", "max_bytes"):
             value = getattr(self, name)
             if value is None:
                 continue
@@ -126,6 +129,11 @@ class ExecOptions:
             raise ValueError(
                 "exec option 'incremental' must be a boolean, "
                 f"got {self.incremental!r}"
+            )
+        if self.fallback is not None and not isinstance(self.fallback, bool):
+            raise ValueError(
+                "exec option 'fallback' must be a boolean, "
+                f"got {self.fallback!r}"
             )
 
     # -- resolution --------------------------------------------------------

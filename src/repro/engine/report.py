@@ -47,6 +47,10 @@ class ExplainReport:
     result_cache: CacheStats | None = None
     maintenance: ExecutionStats | None = None
     q_error: dict | None = None           # {"count","p50","p90","max","calibrated"}
+    #: Degradation state (``session.resilience_stats()``); None when the
+    #: session has never retried, degraded, or tripped a breaker, so the
+    #: rendered text stays byte-identical for untouched sessions.
+    resilience: dict | None = None
 
     @property
     def unsatisfiable(self) -> bool:
@@ -85,6 +89,21 @@ class ExplainReport:
                 f"p50 {summary['p50']:.2f}, p90 {summary['p90']:.2f}, "
                 f"max {summary['max']:.2f} --"
             )
+        if self.resilience is not None:
+            info = self.resilience
+            open_breakers = sorted(
+                name
+                for name, breaker in info.get("breakers", {}).items()
+                if breaker.get("state") != "closed"
+            )
+            text += (
+                f"\n\n-- resilience: {info.get('retries', 0)} retrie(s), "
+                f"{info.get('degraded', 0)} degraded execution(s), "
+                f"{info.get('breaker_opens', 0)} breaker open(s)"
+            )
+            if open_breakers:
+                text += f"; open: {', '.join(open_breakers)}"
+            text += " --"
         return text
 
     def to_dict(self) -> dict:
@@ -113,6 +132,8 @@ class ExplainReport:
             }
         if self.q_error is not None:
             payload["q_error"] = dict(self.q_error)
+        if self.resilience is not None:
+            payload["resilience"] = dict(self.resilience)
         return payload
 
     # -- string-compatible surface ----------------------------------------

@@ -66,9 +66,16 @@ from repro.engine.report import ExplainReport
 from repro.exec.dictionary import encoding_appends
 from repro.exec.executor import CAPTURE_KERNEL, CAPTURE_OUTPUT, ExecutionStats
 from repro.exec.kernels import default_kernel, get_kernel
+from repro.engine.resilience import BreakerConfig, CircuitBreaker, RetryPolicy
+from repro.errors import (
+    BackendUnavailableError,
+    InjectedFault,
+    QueryTimeout,
+    ReproError,
+)
 from repro.exec.maintain import maintain_program, maintainable
 from repro.gdb.engine import PatternEngine
-from repro.graph.evaluator import EvalBudget
+from repro.graph.evaluator import EvalBudget, ResourceBudget, as_budget
 from repro.graph.model import UNLABELLED, PropertyGraph
 from repro.planner import (
     CalibrationLog,
@@ -89,6 +96,7 @@ from repro.schema.model import GraphSchema
 from repro.schema.validation import check_consistency
 from repro.sql.sqlite_backend import SqliteBackend
 from repro.storage.relational import RelationalStore, incremental_enabled
+from repro.testing.faults import fault_point
 
 
 def schema_fingerprint(
@@ -163,6 +171,13 @@ class PreparedQuery:
     #: rewriting over a non-conforming instance (paper Def. 3 — the
     #: rewriting is only sound on instances that conform to the schema).
     rewrite_applied: bool = True
+    #: Resource-governor caps resolved from :class:`ExecOptions` at
+    #: prepare time: cumulative materialised rows / approximate bytes
+    #: (``None`` = ungoverned, wall clock only).
+    max_rows: int | None = None
+    max_bytes: int | None = None
+    #: Whether a retryable failure degrades down the backend chain.
+    fallback: bool = False
 
     @property
     def backend_name(self) -> str:
@@ -190,6 +205,11 @@ class PreparedQuery:
                 backend_options=self.backend_options,
                 planner=self.planner,
             )
+            # Per-call governance survives the re-prepare (the renewed
+            # handle resolved only the session defaults).
+            renewed.max_rows = self.max_rows
+            renewed.max_bytes = self.max_bytes
+            renewed.fallback = self.fallback
             self.__dict__.update(renewed.__dict__)
 
     def result_cache_key(self) -> tuple | None:
@@ -202,10 +222,36 @@ class PreparedQuery:
             self.backend, self.plan, self.backend_options
         )
 
-    def execute(self, timeout_seconds: float | None = None) -> frozenset[tuple]:
+    def budget(self, timeout_seconds: "float | EvalBudget | None"):
+        """The budget one execution runs under.
+
+        A budget handed in (the batch path's shared budget) passes
+        through; otherwise the handle's governor caps wrap the timeout
+        in a :class:`~repro.graph.evaluator.ResourceBudget`. Ungoverned
+        handles return the plain float so the historical per-backend
+        wall-clock behaviour is bit-identical.
+        """
+        if isinstance(timeout_seconds, EvalBudget):
+            return timeout_seconds
+        if self.max_rows is None and self.max_bytes is None:
+            return timeout_seconds
+        return ResourceBudget(timeout_seconds, self.max_rows, self.max_bytes)
+
+    def execute(
+        self, timeout_seconds: "float | EvalBudget | None" = None
+    ) -> frozenset[tuple]:
+        self._refresh_if_stale()
+        if self.fallback and not isinstance(timeout_seconds, EvalBudget):
+            return self.session._execute_resilient(self, timeout_seconds)
+        return self._execute_once(timeout_seconds)
+
+    def _execute_once(
+        self, timeout_seconds: "float | EvalBudget | None" = None
+    ) -> frozenset[tuple]:
         self._refresh_if_stale()
         if self.plan is None:
             return frozenset()
+        timeout_seconds = self.budget(timeout_seconds)
         key = self.result_cache_key()
         if key is not None:
             hit = self.session._lookup_result(self, key, timeout_seconds)
@@ -265,6 +311,12 @@ class PreparedQuery:
                 counters = session._maintenance
                 if counters.results_maintained or counters.results_invalidated:
                     maintenance = counters
+        resilience = session.resilience_stats()
+        if not any(resilience[k] for k in ("retries", "degraded", "breaker_opens", "breaker_skips")) and all(
+            breaker["state"] == "closed"
+            for breaker in resilience["breakers"].values()
+        ):
+            resilience = None  # untouched session: render byte-identical
         return ExplainReport(
             backend=self.backend_name,
             query=str(self.query),
@@ -273,6 +325,7 @@ class PreparedQuery:
             result_cache=result_cache,
             maintenance=maintenance,
             q_error=session._explain_q_error(self.backend_name),
+            resilience=resilience,
         )
 
 
@@ -294,6 +347,8 @@ class GraphSession:
         exec_options: ExecOptions | None = None,
         calibration: "CalibrationState | str | pathlib.Path | None" = None,
         workload: str = "default",
+        breaker_config: BreakerConfig | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         #: Session-default execution options; per-call ``exec_options``
         #: (and the deprecated per-call kwargs) overlay these.
@@ -382,6 +437,19 @@ class GraphSession:
         #: (paper Def. 3) — ``rewrite_sound`` gates it per store version.
         self._conformance: tuple[int, bool] | None = None
         self._rewrites_gated = 0
+        #: Graceful-degradation state: one circuit breaker per backend
+        #: (sessions are per tenant in the serving tier, so breakers are
+        #: per (tenant, backend) there), plus aggregate counters
+        #: surfaced through ``planner_stats`` and ``/metrics``.
+        self.breaker_config = breaker_config or BreakerConfig()
+        self.retry_policy = retry_policy or RetryPolicy()
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._resilience = {
+            "retries": 0,
+            "degraded": 0,
+            "breaker_opens": 0,
+            "breaker_skips": 0,
+        }
 
     # -- derived artefacts (built lazily, owned by the session) -----------
     @property
@@ -493,6 +561,7 @@ class GraphSession:
             return None
         if snapshot is self.store:
             return self
+        fault_point("snapshot.rebuild")
         return GraphSession(
             self._graph,
             self._schema,
@@ -666,9 +735,12 @@ class GraphSession:
             backend_impl.name, backend_options
         )
         if planner_mode == "cost":
-            return self._prepare_cost(
-                query, backend_impl, rewrite, effective_rewrite, options,
-                effective_options,
+            return self._governed(
+                self._prepare_cost(
+                    query, backend_impl, rewrite, effective_rewrite, options,
+                    effective_options,
+                ),
+                resolved,
             )
         rewrite_result = None
         executed = query
@@ -677,10 +749,13 @@ class GraphSession:
             executed = rewrite_result.query
         executed = _drop_unsatisfiable_disjuncts(executed)
         if executed.is_empty:
-            return PreparedQuery(
-                self, backend_impl, query, executed, rewrite_result, None,
-                self.schema_fingerprint, rewrite, options, effective_options,
-                rewrite_applied=effective_rewrite,
+            return self._governed(
+                PreparedQuery(
+                    self, backend_impl, query, executed, rewrite_result, None,
+                    self.schema_fingerprint, rewrite, options,
+                    effective_options, rewrite_applied=effective_rewrite,
+                ),
+                resolved,
             )
         key = (
             backend_impl.name,
@@ -699,11 +774,24 @@ class GraphSession:
             return backend_impl.prepare(self, executed, effective_options)
 
         plan = self._plan_cache.get_or_create(key, prepare_plan)
-        return PreparedQuery(
-            self, backend_impl, query, executed, rewrite_result, plan,
-            self.schema_fingerprint, rewrite, options, effective_options,
-            rewrite_applied=effective_rewrite,
+        return self._governed(
+            PreparedQuery(
+                self, backend_impl, query, executed, rewrite_result, plan,
+                self.schema_fingerprint, rewrite, options, effective_options,
+                rewrite_applied=effective_rewrite,
+            ),
+            resolved,
         )
+
+    @staticmethod
+    def _governed(
+        handle: PreparedQuery, resolved: ExecOptions
+    ) -> PreparedQuery:
+        """Stamp the resolved governor/degradation knobs onto a handle."""
+        handle.max_rows = resolved.max_rows
+        handle.max_bytes = resolved.max_bytes
+        handle.fallback = bool(resolved.fallback)
+        return handle
 
     #: Backends the auto-chooser ranks when no calibration is loaded.
     _AUTO_POOL = ("vec", "ra", "sqlite")
@@ -715,15 +803,27 @@ class GraphSession:
         options: RewriteOptions | None,
         fixpoint_growth: float | None,
     ) -> str:
-        """Pick the cheapest backend for one query (``backend="auto"``).
+        """Pick the cheapest backend for one query (``backend="auto"``)."""
+        return self._rank_backends(query, rewrite, options, fixpoint_growth)[0]
+
+    def _rank_backends(
+        self,
+        query: UCQT,
+        rewrite: bool,
+        options: RewriteOptions | None,
+        fixpoint_growth: float | None,
+    ) -> tuple[str, ...]:
+        """All eligible backends for one query, cheapest first.
 
         Ranks the query's candidate plans once per eligible backend and
-        returns the backend whose winning plan is cheapest. With a
-        loaded :class:`~repro.planner.CalibrationState` the eligible set
-        is the fitted backends and costs compare in measured seconds
-        (mutually comparable across backends); without one it falls
-        back to the built-in profiles over the default pool — never a
-        mix of the two scales. The choice is memoised in the plan cache.
+        orders the backends by their winning plan's cost. With a loaded
+        :class:`~repro.planner.CalibrationState` the eligible set is the
+        fitted backends and costs compare in measured seconds (mutually
+        comparable across backends); without one it falls back to the
+        built-in profiles over the default pool — never a mix of the two
+        scales. ``backend="auto"`` executes the head; the graceful
+        degradation path walks the tail (cheapest surviving substrate
+        next). The ranking is memoised in the plan cache.
         """
         key = (
             "planner:auto",
@@ -734,7 +834,7 @@ class GraphSession:
             fixpoint_growth,
         )
 
-        def choose() -> str:
+        def choose() -> tuple[str, ...]:
             state = self._calibration
             if state is not None and state.fitted_backends:
                 pool = [
@@ -750,17 +850,15 @@ class GraphSession:
                 query, self._schema, self.store,
                 rewrite=rewrite, options=options, estimator=estimator,
             )
-            best_name: str | None = None
-            best_cost = float("inf")
+            costs: list[tuple[float, str]] = []
             for name, profile in pool:
                 choice = rank_candidates(
                     candidates, self.store, name,
                     estimator=estimator, profile=profile,
                 )
-                if choice.winner.cost < best_cost:
-                    best_name, best_cost = name, choice.winner.cost
-            assert best_name is not None
-            return best_name
+                costs.append((choice.winner.cost, name))
+            costs.sort()
+            return tuple(name for _cost, name in costs)
 
         return self._plan_cache.get_or_create(key, choose)
 
@@ -904,6 +1002,205 @@ class GraphSession:
         )
         return prepared.explain()
 
+    # -- graceful degradation ----------------------------------------------
+    def _breaker(self, backend: str) -> CircuitBreaker:
+        breaker = self._breakers.get(backend)
+        if breaker is None:
+            breaker = CircuitBreaker(self.breaker_config)
+            self._breakers[backend] = breaker
+        return breaker
+
+    def _degradation_chain(self, prepared: PreparedQuery) -> list[str]:
+        """Backends to try for one handle: primary, then cheapest next.
+
+        The tail comes from the calibrated ranking when it can be
+        computed (the same memoised ranking ``backend="auto"`` picks
+        from), then the remaining fitted/default-pool backends, ending
+        at the interpreters — ``ra`` and ``reference`` share no kernel
+        machinery with ``vec``, so a vec-specific fault cannot follow
+        the query down the whole chain.
+        """
+        chain = [prepared.backend.name]
+
+        def extend(names) -> None:
+            for name in names:
+                if name not in chain:
+                    chain.append(name)
+
+        try:
+            extend(
+                self._rank_backends(
+                    prepared.query,
+                    prepared.rewrite_applied,
+                    prepared.options,
+                    None,
+                )
+            )
+        except ReproError:
+            pass  # unrankable query: fall through to the static order
+        state = self._calibration
+        if state is not None and state.fitted_backends:
+            extend(state.fitted_backends)
+        extend(self._AUTO_POOL)
+        extend(("ra", "reference"))
+        return chain
+
+    def _fallback_handle(
+        self, prepared: PreparedQuery, backend: str
+    ) -> PreparedQuery | None:
+        """Re-prepare one handle's query on a different substrate.
+
+        ``None`` when the query cannot be prepared there (translation
+        limits etc.) — the degradation loop then moves further down the
+        chain. Backend-specific knobs are re-derived from the session's
+        options; the governor caps carry over from the failing handle.
+        """
+        try:
+            handle = self.prepare(
+                prepared.query,
+                rewrite=prepared.rewrite,
+                options=prepared.options,
+                exec_options=ExecOptions(
+                    backend=backend, planner=prepared.planner
+                ),
+            )
+        except ReproError:
+            return None
+        handle.max_rows = prepared.max_rows
+        handle.max_bytes = prepared.max_bytes
+        return handle
+
+    def _execute_resilient(
+        self,
+        prepared: PreparedQuery,
+        timeout_seconds: float | None = None,
+    ) -> frozenset[tuple]:
+        """Execute with retries down the backend chain.
+
+        One wall-clock deadline spans every attempt (each retry sees
+        only the remaining time; row/byte budgets are fresh per attempt
+        — they cap one substrate's consumption, not the request's).
+        Retryable failures step to the next backend after a bounded
+        backoff and feed that backend's circuit breaker; an open breaker
+        skips its backend outright. Non-retryable errors raise
+        immediately. Success stamps ``retries``/``degraded``/
+        ``breaker_opens`` onto the handle's ``last_execution_stats``.
+        """
+        policy = self.retry_policy
+        deadline = (
+            None
+            if timeout_seconds is None
+            else time.monotonic() + timeout_seconds
+        )
+        counters = self._resilience
+        attempts = 0
+        opens = 0
+        last_error: ReproError | None = None
+        tried_or_skipped: list[str] = []
+        rows: frozenset[tuple] | None = None
+        winner: PreparedQuery | None = None
+
+        def attempt(
+            handle: PreparedQuery, breaker: CircuitBreaker
+        ) -> frozenset[tuple] | None:
+            nonlocal attempts, opens, last_error
+            remaining = (
+                None if deadline is None else deadline - time.monotonic()
+            )
+            attempts += 1
+            try:
+                result = handle._execute_once(remaining)
+            except ReproError as error:
+                if not error.retryable:
+                    raise
+                last_error = error
+                if breaker.record_failure():
+                    opens += 1
+                    counters["breaker_opens"] += 1
+                return None
+            breaker.record_success()
+            return result
+
+        # Fast path: the planned backend, healthy breaker, first try —
+        # no chain is computed and nothing extra is allocated, so the
+        # governed-but-healthy hot path stays at budget-check cost.
+        primary = prepared.backend.name
+        tried_or_skipped.append(primary)
+        breaker = self._breaker(primary)
+        if breaker.allow():
+            rows = attempt(prepared, breaker)
+            if rows is not None and opens == 0:
+                return rows
+            winner = prepared if rows is not None else None
+        else:
+            counters["breaker_skips"] += 1
+        if rows is None:
+            for backend_name in self._degradation_chain(prepared)[1:]:
+                if attempts >= policy.max_attempts:
+                    break
+                breaker = self._breaker(backend_name)
+                if not breaker.allow():
+                    counters["breaker_skips"] += 1
+                    tried_or_skipped.append(backend_name)
+                    continue
+                if attempts > 0:
+                    delay = policy.backoff(attempts - 1)
+                    if deadline is not None:
+                        delay = min(
+                            delay, max(deadline - time.monotonic(), 0.0)
+                        )
+                    if delay > 0:
+                        time.sleep(delay)
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise QueryTimeout(timeout_seconds or 0.0)
+                handle = self._fallback_handle(prepared, backend_name)
+                if handle is None:
+                    continue
+                tried_or_skipped.append(backend_name)
+                rows = attempt(handle, breaker)
+                if rows is not None:
+                    winner = handle
+                    break
+        if rows is not None and winner is not None:
+            degraded = winner is not prepared
+            stats = winner.last_execution_stats
+            if stats is None:
+                stats = ExecutionStats(programs=1)
+            stats.retries += attempts - 1
+            stats.degraded += 1 if degraded else 0
+            stats.breaker_opens += opens
+            winner.last_execution_stats = stats
+            prepared.last_execution_stats = stats
+            counters["retries"] += attempts - 1
+            counters["degraded"] += 1 if degraded else 0
+            return rows
+        if last_error is not None:
+            raise last_error
+        # Nothing was even attempted: every substrate vetoed (or
+        # unpreparable). Tell the client when the first breaker
+        # half-opens.
+        horizons = [
+            self._breakers[name].retry_after()
+            for name in tried_or_skipped
+            if name in self._breakers
+            and self._breakers[name].state != "closed"
+        ]
+        raise BackendUnavailableError(
+            tuple(dict.fromkeys(tried_or_skipped)) or tuple(chain),
+            retry_after_seconds=min(horizons) if horizons else 1.0,
+        )
+
+    def resilience_stats(self) -> dict:
+        """Degradation counters + per-backend breaker state (JSON-ready)."""
+        return {
+            **self._resilience,
+            "fallback": bool(self.exec_options.fallback),
+            "breakers": {
+                name: breaker.snapshot()
+                for name, breaker in sorted(self._breakers.items())
+            },
+        }
+
     # -- the result-set cache ----------------------------------------------
     @property
     def result_cache_enabled(self) -> bool:
@@ -936,7 +1233,7 @@ class GraphSession:
         self,
         prepared: "PreparedQuery",
         key: tuple,
-        timeout_seconds: float | None = None,
+        timeout_seconds: "float | EvalBudget | None" = None,
     ) -> frozenset | None:
         """Serve one result-cache lookup, maintaining stale entries.
 
@@ -948,6 +1245,13 @@ class GraphSession:
         cache = self._result_cache
         entry = cache.peek(key)
         if entry is None:
+            cache.count_miss()
+            return None
+        try:
+            fault_point("result_cache.load")
+        except InjectedFault:
+            # Containment: a faulted load degrades to a miss — the
+            # query recomputes and re-stores; the entry is untouched.
             cache.count_miss()
             return None
         if entry.version == self.store.version:
@@ -966,7 +1270,7 @@ class GraphSession:
         self,
         prepared: "PreparedQuery",
         entry: CachedResult,
-        timeout_seconds: float | None,
+        timeout_seconds: "float | EvalBudget | None",
     ) -> frozenset | None:
         """Bring one stale cache entry up to the current store version.
 
@@ -976,6 +1280,13 @@ class GraphSession:
         the changed relations are re-stamped without any evaluation.
         """
         if not self._incremental_active():
+            return None
+        try:
+            fault_point("maintain.apply")
+        except InjectedFault:
+            # Containment: a faulted maintenance run degrades to the
+            # invalidation path (evict + recompute) before touching the
+            # entry — never a partially-maintained result.
             return None
         store = self.store
         deltas = store.delta_since(entry.version)
@@ -1001,7 +1312,7 @@ class GraphSession:
             entry.fix_states,
             head=plan.head,
             kernel=kernel,
-            budget=EvalBudget(timeout_seconds),
+            budget=as_budget(timeout_seconds),
             prev_rows=entry.rows,
             prev_output=entry.output,
         )
@@ -1026,6 +1337,13 @@ class GraphSession:
         keyed by Fix term, plus the root output table and kernel name
         under their sentinel keys.
         """
+        try:
+            fault_point("result_cache.store")
+        except InjectedFault:
+            # Containment: a faulted store skips caching — the caller's
+            # result is already computed and correct; nothing partial
+            # enters the cache.
+            return
         output = kernel_name = None
         if capture:
             kernel_name = capture.pop(CAPTURE_KERNEL, None)
@@ -1190,6 +1508,7 @@ class GraphSession:
             "instance_conforming": (
                 None if self._conformance is None else self._conformance[1]
             ),
+            "resilience": self.resilience_stats(),
             "calibration": {
                 "records": len(self.calibration_log),
                 "total_recorded": self.calibration_log.total_recorded,

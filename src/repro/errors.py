@@ -20,10 +20,17 @@ class ReproError(Exception):
     """Base class for all errors raised by this library.
 
     :attr:`code` is the stable machine-readable identity of the error
-    class — renaming a class must keep its code.
+    class — renaming a class must keep its code. :attr:`retryable`
+    declares whether the *same request* may legitimately succeed on a
+    retry (typically on a different execution substrate): the graceful
+    degradation layer only retries errors that opt in — a parse error
+    or a schema violation fails identically everywhere, but a kernel
+    fault, an injected fault or a per-substrate resource exhaustion may
+    not reproduce on the next backend down the chain.
     """
 
     code: str = "internal"
+    retryable: bool = False
 
     def payload(self) -> dict:
         """Structured details for serialisation (code + message + extras).
@@ -124,9 +131,98 @@ class TranslationError(ReproError):
 
 
 class EvaluationError(ReproError):
-    """An engine failed while evaluating a query (internal invariant broken)."""
+    """An engine failed while evaluating a query (internal invariant broken).
+
+    Retryable: the invariant that broke is internal to one substrate's
+    kernel/translator, so the same query may execute cleanly elsewhere.
+    """
 
     code = "evaluation_error"
+    retryable = True
+
+
+class ResourceExhaustedError(ReproError):
+    """A :class:`~repro.graph.evaluator.ResourceBudget` cap was breached.
+
+    ``resource`` names the exhausted dimension (``"rows"`` /
+    ``"bytes"``), ``limit`` the configured cap and ``used`` the
+    (approximate) consumption at the moment of the breach. Retryable:
+    row/byte consumption is a property of one substrate's physical plan
+    — a cheaper substrate may answer the same query within the cap.
+    """
+
+    code = "resource_exhausted"
+    retryable = True
+
+    def __init__(self, resource: str, limit: int, used: int):
+        super().__init__(
+            f"query exhausted its {resource} budget: "
+            f"used ~{used} of {limit}"
+        )
+        self.resource = resource
+        self.limit = limit
+        self.used = used
+
+    def payload(self) -> dict:
+        return {
+            **super().payload(),
+            "resource": self.resource,
+            "limit": self.limit,
+            "used": self.used,
+        }
+
+
+class InjectedFault(ReproError):
+    """A fault fired by the deterministic test-time
+    :class:`~repro.testing.faults.FaultInjector` (never raised in
+    production configurations — injection is off unless ``REPRO_FAULTS``
+    or an installed injector enables it). Retryable by construction:
+    chaos tests exercise exactly the degradation path real transient
+    faults would take.
+    """
+
+    code = "injected_fault"
+    retryable = True
+
+    def __init__(self, site: str, sequence: int):
+        super().__init__(
+            f"injected fault at site {site!r} (fire #{sequence})"
+        )
+        self.site = site
+        self.sequence = sequence
+
+    def payload(self) -> dict:
+        return {**super().payload(), "site": self.site}
+
+
+class BackendUnavailableError(ReproError):
+    """Every execution substrate in the degradation chain was vetoed by
+    an open circuit breaker — the request was not attempted anywhere.
+
+    ``retry_after_seconds`` is the shortest remaining breaker cool-down,
+    i.e. when the first breaker half-opens and a retry could be probed.
+    """
+
+    code = "backend_unavailable"
+
+    def __init__(
+        self,
+        backends: "tuple[str, ...] | list[str]",
+        retry_after_seconds: float = 1.0,
+    ):
+        names = ", ".join(backends)
+        super().__init__(
+            f"no backend available: circuit breaker open for {names}"
+        )
+        self.backends = tuple(backends)
+        self.retry_after_seconds = retry_after_seconds
+
+    def payload(self) -> dict:
+        return {
+            **super().payload(),
+            "backends": list(self.backends),
+            "retry_after_seconds": self.retry_after_seconds,
+        }
 
 
 class RequestError(ReproError):

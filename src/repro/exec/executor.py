@@ -52,6 +52,7 @@ from repro.exec.dictionary import StoreEncoding, encoding_for
 from repro.exec.kernels import default_kernel
 from repro.exec.parallel import MorselKernel
 from repro.graph.evaluator import EvalBudget
+from repro.testing.faults import fault_point
 from repro.storage.relational import RelationalStore
 
 _NO_BUDGET = EvalBudget(None)
@@ -123,6 +124,13 @@ class ExecutionStats:
     fixpoint_seconds: float = 0.0
     estimated_rows: float = 0.0
     actual_rows: int = 0
+    # Resilience counters, stamped by the session's degradation loop:
+    # extra execution attempts after a retryable failure, executions
+    # answered by a backend other than the planned one, and circuit
+    # breakers newly tripped open along the way.
+    retries: int = 0
+    degraded: int = 0
+    breaker_opens: int = 0
 
     def operator_rows(self) -> dict[str, int]:
         """Actual output rows by operator kind (calibration features)."""
@@ -243,7 +251,7 @@ def execute_batch_programs(
     kernel = kernel or default_kernel()
     morsel: MorselKernel | None = None
     if parallelism is not None and parallelism > 1:
-        morsel = MorselKernel(kernel, parallelism, morsel_size)
+        morsel = MorselKernel(kernel, parallelism, morsel_size, budget=budget)
         kernel = morsel
     encoding = encoding_for(store)
     programs = list(programs)
@@ -334,6 +342,7 @@ class _Runner:
             if hit is not None:
                 self.stats.memo_hits += 1
                 return hit
+        fault_point("kernel.op")
         started = time.perf_counter()
         self._child_seconds.append(0.0)
         try:
@@ -369,6 +378,9 @@ class _Runner:
             stats.fixpoint_rows += rows
             stats.fixpoint_seconds += exclusive
         self.budget.tick(rows)
+        # Approximate bytes of this materialised intermediate: every
+        # encoded column is one int64 code per row.
+        self.budget.charge_bytes(rows * max(self.kernel.width(result), 1) * 8)
         if op.closed:
             self._memo[id(op)] = result
         return result

@@ -82,9 +82,22 @@ class MorselKernel:
     ``parallel_ops`` counts operators dispatched as morsel fan-outs and
     ``morsels_dispatched`` the tasks submitted; both feed
     :class:`~repro.exec.executor.ExecutionStats`.
+
+    ``budget`` (an :class:`~repro.graph.evaluator.EvalBudget`) is checked
+    once before every fan-out and once per morsel task, so a deadline or
+    resource cap interrupts a long parallel operator between morsels
+    instead of only after the whole operator returns. Budget methods are
+    thread-safe enough for this use: tick batching may lose a few counts
+    under races, but ``check_now`` reads one immutable deadline.
     """
 
-    def __init__(self, base, parallelism: int, morsel_size: int | None = None):
+    def __init__(
+        self,
+        base,
+        parallelism: int,
+        morsel_size: int | None = None,
+        budget=None,
+    ):
         if parallelism < 1:
             raise ValueError(f"parallelism must be >= 1, got {parallelism}")
         morsel_size = (
@@ -95,6 +108,7 @@ class MorselKernel:
         self.base = base
         self.parallelism = parallelism
         self.morsel_size = morsel_size
+        self.budget = budget
         self.parallel_ops = 0
         self.morsels_dispatched = 0
         self._pool: ThreadPoolExecutor | None = None
@@ -128,7 +142,15 @@ class MorselKernel:
             self.effective_parallelism > 1 and nrows > self.morsel_size
         )
 
+    def _checked(self, task):
+        budget = self.budget
+        if budget is not None:
+            budget.check_now()
+        return task()
+
     def _run(self, tasks):
+        if self.budget is not None:
+            self.budget.check_now()
         if self._pool is None:
             self._pool = ThreadPoolExecutor(
                 max_workers=self.parallelism,
@@ -136,7 +158,7 @@ class MorselKernel:
             )
         self.parallel_ops += 1
         self.morsels_dispatched += len(tasks)
-        return list(self._pool.map(lambda task: task(), tasks))
+        return list(self._pool.map(self._checked, tasks))
 
     # -- morsel-parallel operators -----------------------------------------
     def join(self, left, right, left_key, right_key, layout, domain):

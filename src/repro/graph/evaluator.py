@@ -32,7 +32,7 @@ from repro.algebra.ast import (
     Reverse,
     Union,
 )
-from repro.errors import QueryTimeout
+from repro.errors import QueryTimeout, ResourceExhaustedError
 from repro.graph.model import PropertyGraph
 
 Pair = tuple[int, int]
@@ -61,6 +61,81 @@ class EvalBudget:
         """Unconditionally check the deadline."""
         if self._deadline is not None and time.monotonic() > self._deadline:
             raise QueryTimeout(self.seconds or 0.0)
+
+    def charge_bytes(self, count: int) -> None:
+        """Account for ``count`` bytes of materialised intermediate state.
+
+        A plain wall-clock budget ignores the charge; only
+        :class:`ResourceBudget` enforces a cap. Evaluators call this with
+        the *approximate* footprint of each intermediate they materialise
+        (rows × columns × 8, the dictionary-encoded int64 width).
+        """
+
+    @property
+    def expired(self) -> bool:
+        """Whether the deadline has passed (False when unlimited).
+
+        A non-raising probe for host callbacks that cannot let an
+        exception escape (the sqlite progress handler aborts the
+        statement by returning non-zero instead).
+        """
+        return self._deadline is not None and time.monotonic() > self._deadline
+
+
+class ResourceBudget(EvalBudget):
+    """An :class:`EvalBudget` that additionally caps rows and bytes.
+
+    ``max_rows`` bounds the cumulative row count ticked through the
+    evaluator (every materialised intermediate counts, not just the
+    final result — the cap governs *work*, mirroring how the wall-clock
+    budget is charged). ``max_bytes`` bounds the approximate bytes of
+    materialised intermediates as charged via :meth:`charge_bytes`.
+    Either cap breaching raises :class:`ResourceExhaustedError`, which
+    is retryable: a different substrate may evaluate the same query
+    within the caps.
+    """
+
+    def __init__(
+        self,
+        seconds: float | None = None,
+        max_rows: int | None = None,
+        max_bytes: int | None = None,
+    ):
+        super().__init__(seconds)
+        self.max_rows = max_rows
+        self.max_bytes = max_bytes
+        self.rows_charged = 0
+        self.bytes_charged = 0
+
+    def tick(self, amount: int = 1) -> None:
+        if self.max_rows is not None:
+            self.rows_charged += amount
+            if self.rows_charged > self.max_rows:
+                raise ResourceExhaustedError(
+                    "rows", self.max_rows, self.rows_charged
+                )
+        super().tick(amount)
+
+    def charge_bytes(self, count: int) -> None:
+        if self.max_bytes is not None:
+            self.bytes_charged += count
+            if self.bytes_charged > self.max_bytes:
+                raise ResourceExhaustedError(
+                    "bytes", self.max_bytes, self.bytes_charged
+                )
+
+
+def as_budget(value: "float | EvalBudget | None") -> EvalBudget:
+    """Coerce a ``timeout_seconds`` float (or ``None``) into a budget.
+
+    Backends accept either form so callers that already hold a
+    :class:`ResourceBudget` (the session's governed path) thread it
+    through unchanged, while plain-float callers keep the historical
+    wall-clock-only behaviour.
+    """
+    if isinstance(value, EvalBudget):
+        return value
+    return EvalBudget(value)
 
 
 _NO_BUDGET = EvalBudget(None)

@@ -105,6 +105,9 @@ def _eval(
         result = _eval_uncached(term, store, budget, env, memo)
     else:
         result = _eval_instrumented(term, store, budget, env, memo)
+    # Approximate bytes of this materialised intermediate (a governed
+    # ResourceBudget enforces max_bytes; plain budgets ignore the charge).
+    budget.charge_bytes(len(result[1]) * max(len(result[0]), 1) * 8)
     if cacheable:
         memo.results[id(term)] = result
     return result

@@ -37,10 +37,12 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.engine.backends import VecPlan
+from repro.errors import ReproError
 from repro.exec.executor import ExecutionStats, execute_batch_programs
 from repro.exec.kernels import get_kernel
 from repro.exec.parallel import default_parallelism
-from repro.graph.evaluator import EvalBudget
+from repro.graph.evaluator import EvalBudget, ResourceBudget
+from repro.testing.faults import fault_point
 from repro.planner import OPERATOR_KINDS, estimate_kind_rows
 from repro.query.model import UCQT
 from repro.query.parser import parse_query
@@ -115,9 +117,9 @@ def execute_batch(
     executing per plan. ``BatchReport.backend_choices`` records the
     split.
     """
+    merged = session.exec_options.merged(exec_options)
     requested = backend
     if requested is None:
-        merged = session.exec_options.merged(exec_options)
         requested = merged.backend or "vec"
     parsed = [
         parse_query(query) if isinstance(query, str) else query
@@ -149,7 +151,7 @@ def execute_batch(
     stats: ExecutionStats | None = None
     if vec_handles:
         rows_by_key, stats = _execute_vec_shared(
-            session, vec_handles, timeout_seconds
+            session, vec_handles, timeout_seconds, merged
         )
     for key, handle in prepared.items():
         if key not in vec_handles:
@@ -177,12 +179,19 @@ def _execute_vec_shared(
     session: "GraphSession",
     prepared: Mapping[str, "PreparedQuery"],
     timeout_seconds: float | None,
+    exec_options: "ExecOptions | None" = None,
 ) -> tuple[dict[str, frozenset[tuple]], ExecutionStats]:
     """Run every distinct ``vec`` plan through one shared batch runner.
 
     Plans whose result set is already cached (result cache enabled,
     store unchanged) never reach the runner; only the misses execute,
     then back-fill the cache for the next batch.
+
+    ``exec_options`` supplies the batch-wide resource caps (``max_rows``
+    and ``max_bytes`` govern the shared runner as a whole, matching the
+    whole-batch semantics of ``timeout_seconds``) and the ``fallback``
+    flag: when set, a retryable failure of the shared runner degrades to
+    per-plan resilient execution instead of failing the batch.
     """
     runnable: list[tuple[str, "PreparedQuery", VecPlan, tuple | None]] = []
     rows_by_key: dict[str, frozenset[tuple]] = {}
@@ -230,18 +239,46 @@ def _execute_vec_shared(
                 {} if cache_key is not None else None
                 for _, _, _, cache_key in runnable
             ]
+        if exec_options is not None and (
+            exec_options.max_rows is not None
+            or exec_options.max_bytes is not None
+        ):
+            budget: EvalBudget = ResourceBudget(
+                timeout_seconds,
+                max_rows=exec_options.max_rows,
+                max_bytes=exec_options.max_bytes,
+            )
+        else:
+            budget = EvalBudget(timeout_seconds)
         started = time.perf_counter()
-        results = execute_batch_programs(
-            [plan.program for _, _, plan, _ in runnable],
-            session.store,
-            heads=[plan.head for _, _, plan, _ in runnable],
-            budget=EvalBudget(timeout_seconds),
-            kernel=kernel,
-            stats=stats,
-            parallelism=parallelism,
-            morsel_size=morsel_size,
-            fix_captures=captures,
-        )
+        try:
+            fault_point("backend.execute.vec")
+            results = execute_batch_programs(
+                [plan.program for _, _, plan, _ in runnable],
+                session.store,
+                heads=[plan.head for _, _, plan, _ in runnable],
+                budget=budget,
+                kernel=kernel,
+                stats=stats,
+                parallelism=parallelism,
+                morsel_size=morsel_size,
+                fix_captures=captures,
+            )
+        except ReproError as error:
+            fallback = bool(
+                exec_options is not None and exec_options.fallback
+            )
+            if not (error.retryable and fallback):
+                raise
+            # The shared runner failed on a retryable fault. Its partial
+            # work and telemetry are discarded wholesale; each plan then
+            # re-executes on its own through the session's degradation
+            # loop (breakers, retries, cheaper substrates).
+            for key, handle, _, _ in runnable:
+                rows_by_key[key] = session._execute_resilient(
+                    handle, timeout_seconds
+                )
+            return rows_by_key, stats
         elapsed = time.perf_counter() - started
         cost_planned = False
         actual_total = 0

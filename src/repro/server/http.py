@@ -36,6 +36,7 @@ from repro.server.models import (
     WriteRequest,
     error_response,
     quotas_payload,
+    retry_after_seconds,
 )
 from repro.server.tenants import TenantRegistry
 
@@ -318,13 +319,19 @@ class HTTPGraphServer:
             phrase = HTTPStatus(status).phrase
         except ValueError:
             phrase = "Unknown"
-        head = (
-            f"HTTP/1.1 {status} {phrase}\r\n"
-            f"Server: {_SERVER_NAME}\r\n"
-            "Content-Type: application/json\r\n"
-            f"Content-Length: {len(data)}\r\n"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            "\r\n"
-        )
+        lines = [
+            f"HTTP/1.1 {status} {phrase}",
+            f"Server: {_SERVER_NAME}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(data)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        # Back-pressure statuses (408/429/503) tell well-behaved clients
+        # when to come back; the hint comes from the error payload when
+        # the failure carries one (e.g. a breaker's cool-down horizon).
+        retry_after = retry_after_seconds(status, body)
+        if retry_after is not None:
+            lines.append(f"Retry-After: {retry_after}")
+        head = "\r\n".join(lines) + "\r\n\r\n"
         writer.write(head.encode("latin-1") + data)
         await writer.drain()

@@ -16,6 +16,7 @@ never map exceptions ad hoc.
 
 from __future__ import annotations
 
+import math
 from dataclasses import asdict, dataclass
 from typing import TYPE_CHECKING, Mapping
 
@@ -43,11 +44,38 @@ HTTP_STATUS_BY_CODE: Mapping[str, int] = {
     "unknown_tenant": 404,
     "timeout": 408,
     "consistency_error": 409,
+    # A breached ResourceBudget cap (rows/bytes) is the request asking
+    # for more than its governed allowance: 413 Payload Too Large.
+    "resource_exhausted": 413,
     "quota_exceeded": 429,
     "evaluation_error": 500,
+    "injected_fault": 500,
     "internal": 500,
+    # Every substrate vetoed by an open circuit breaker: retry later.
+    "backend_unavailable": 503,
     "service_closed": 503,
 }
+
+#: Statuses that carry a ``Retry-After`` header on the wire: request
+#: timeout, quota rejection, and breaker-open/shutdown unavailability.
+RETRY_AFTER_STATUSES = frozenset({408, 429, 503})
+
+
+def retry_after_seconds(status: int, body: Mapping) -> int | None:
+    """The ``Retry-After`` value (whole seconds, >= 1) for a response.
+
+    ``None`` for statuses outside :data:`RETRY_AFTER_STATUSES`. Errors
+    that know their own horizon (breaker cool-down remaining) carry a
+    ``retry_after_seconds`` hint in their payload; otherwise a 1-second
+    default tells well-behaved clients to back off without idling them.
+    """
+    if status not in RETRY_AFTER_STATUSES:
+        return None
+    error = body.get("error") if isinstance(body, Mapping) else None
+    hint = error.get("retry_after_seconds") if isinstance(error, Mapping) else None
+    if isinstance(hint, (int, float)) and hint > 0:
+        return max(1, math.ceil(hint))
+    return 1
 
 
 def error_response(error: BaseException) -> tuple[int, dict]:

@@ -33,9 +33,11 @@ from __future__ import annotations
 
 import asyncio
 from collections import OrderedDict
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Iterator, Mapping
 
+from repro.engine.options import ExecOptions
+from repro.engine.resilience import BreakerConfig, RetryPolicy
 from repro.engine.session import GraphSession
 from repro.errors import (
     QueryTimeout,
@@ -68,11 +70,17 @@ class TenantQuotas:
     more may wait for a slot; each request gets at most
     ``timeout_seconds`` of wall clock (slot wait included) — a smaller
     per-request ``timeout_seconds`` is honoured, a larger one clamped.
+    ``max_rows``/``max_bytes`` cap what one request may materialise
+    (enforced by the engine's :class:`~repro.graph.evaluator
+    .ResourceBudget`); per-request caps below the quota are honoured,
+    caps above it are clamped down.
     """
 
     max_concurrent: int = 8
     max_pending: int = 64
     timeout_seconds: float = 30.0
+    max_rows: int | None = None
+    max_bytes: int | None = None
 
     def __post_init__(self):
         if self.max_concurrent < 1:
@@ -81,6 +89,10 @@ class TenantQuotas:
             raise ValueError("max_pending must be >= 0")
         if self.timeout_seconds <= 0:
             raise ValueError("timeout_seconds must be positive")
+        for name in ("max_rows", "max_bytes"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1 when set")
 
     def clamp(self, requested: float | None) -> float:
         return (
@@ -88,6 +100,30 @@ class TenantQuotas:
             if requested is None
             else min(requested, self.timeout_seconds)
         )
+
+    def clamp_options(
+        self, options: ExecOptions | None
+    ) -> ExecOptions | None:
+        """Per-request exec options with resource caps held to the quota.
+
+        A request may *lower* its row/byte caps below the tenant limits
+        but never raise them: unset or too-large request caps are pinned
+        to the quota values.
+        """
+        if options is None or (
+            self.max_rows is None and self.max_bytes is None
+        ):
+            return options
+        updates: dict = {}
+        if self.max_rows is not None and (
+            options.max_rows is None or options.max_rows > self.max_rows
+        ):
+            updates["max_rows"] = self.max_rows
+        if self.max_bytes is not None and (
+            options.max_bytes is None or options.max_bytes > self.max_bytes
+        ):
+            updates["max_bytes"] = self.max_bytes
+        return replace(options, **updates) if updates else options
 
 
 @dataclass
@@ -213,6 +249,9 @@ class Tenant:
         backend_options: Mapping | None = None,
         planner: str | None = None,
         dataset: str | None = None,
+        fallback: bool = True,
+        breaker_config: BreakerConfig | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         self.name = name
         self.session = session
@@ -220,6 +259,21 @@ class Tenant:
         self.metrics = TenantMetrics()
         self.dataset = dataset
         self.backend = backend
+        # Served sessions degrade gracefully by default: retryable
+        # failures walk the backend chain instead of surfacing, and the
+        # quota's resource caps become the session-wide defaults.
+        session.exec_options = session.exec_options.merged(
+            ExecOptions(
+                max_rows=self.quotas.max_rows,
+                max_bytes=self.quotas.max_bytes,
+                fallback=True if fallback else None,
+            )
+        )
+        if breaker_config is not None:
+            session.breaker_config = breaker_config
+            session._breakers.clear()
+        if retry_policy is not None:
+            session.retry_policy = retry_policy
         self.service = TenantQueryService(
             session,
             backend,
@@ -344,7 +398,9 @@ class Tenant:
                             timeout_seconds=budget,
                             rewrite=request.rewrite,
                             planner=request.planner,
-                            exec_options=request.options,
+                            exec_options=self.quotas.clamp_options(
+                                request.options
+                            ),
                         )
 
                 results = await self._offload(request.backend, run)
@@ -459,7 +515,7 @@ class Tenant:
                     timeout_seconds=budget,
                     rewrite=request.rewrite,
                     planner=request.planner,
-                    exec_options=request.options,
+                    exec_options=self.quotas.clamp_options(request.options),
                 )
 
         return await self._offload(request.backend, run)

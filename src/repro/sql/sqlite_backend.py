@@ -10,14 +10,15 @@ produced by :mod:`repro.sql.generate` is executed as-is.
 from __future__ import annotations
 
 import sqlite3
-import time
 from typing import Iterable
 
 from repro.errors import EvaluationError, QueryTimeout
+from repro.graph.evaluator import EvalBudget, as_budget
 from repro.query.model import UCQT
 from repro.ra.translate import TranslationContext
 from repro.sql.generate import ucqt_to_sql
 from repro.storage.relational import RelationalStore
+from repro.testing.faults import fault_point
 
 _SQL_TYPE = {int: "INTEGER", float: "REAL", str: "TEXT", bool: "INTEGER"}
 
@@ -75,6 +76,7 @@ class SqliteBackend:
             return
         deltas = store.delta_since(self.version)
         if deltas is None:
+            fault_point("snapshot.rebuild.sqlite")
             self.connection.close()
             self.connection = sqlite3.connect(":memory:")
             self._load()
@@ -97,35 +99,51 @@ class SqliteBackend:
 
     # -- execution -----------------------------------------------------------
     def execute_sql(
-        self, sql: str, timeout_seconds: float | None = None
+        self,
+        sql: str,
+        timeout_seconds: float | EvalBudget | None = None,
     ) -> frozenset[tuple]:
         """Run a query, returning the result rows as a frozen set.
 
-        The timeout uses SQLite's progress handler, matching the
-        cooperative-deadline behaviour of the in-process engines.
+        ``timeout_seconds`` is a plain float or a full
+        :class:`~repro.graph.evaluator.EvalBudget`/``ResourceBudget``.
+        The wall clock is enforced inside SQLite's own VM via a progress
+        handler — matching the cooperative-deadline behaviour of the
+        in-process engines even when a statement never yields a row —
+        and row/byte caps are charged as results are fetched in chunks.
         """
-        if timeout_seconds is not None:
-            deadline = time.monotonic() + timeout_seconds
-
-            def cancel_if_late() -> int:
-                return 1 if time.monotonic() > deadline else 0
-
-            self.connection.set_progress_handler(cancel_if_late, 20_000)
+        budget = as_budget(timeout_seconds)
+        governed = budget.seconds is not None
+        if governed:
+            # The handler must not raise through the C layer; returning
+            # non-zero interrupts the statement, surfaced below as an
+            # OperationalError("interrupted").
+            self.connection.set_progress_handler(
+                lambda: 1 if budget.expired else 0, 4_000
+            )
         try:
             cursor = self.connection.execute(sql)
-            return frozenset(tuple(row) for row in cursor.fetchall())
+            rows: list[tuple] = []
+            while True:
+                chunk = cursor.fetchmany(1024)
+                if not chunk:
+                    break
+                budget.tick(len(chunk))
+                budget.charge_bytes(len(chunk) * len(chunk[0]) * 8)
+                rows.extend(tuple(row) for row in chunk)
+            return frozenset(rows)
         except sqlite3.OperationalError as error:
             if "interrupted" in str(error):
-                raise QueryTimeout(timeout_seconds or 0.0) from error
+                raise QueryTimeout(budget.seconds or 0.0) from error
             raise EvaluationError(f"SQLite rejected the query: {error}") from error
         finally:
-            if timeout_seconds is not None:
+            if governed:
                 self.connection.set_progress_handler(None, 0)
 
     def execute_ucqt(
         self,
         query: UCQT,
-        timeout_seconds: float | None = None,
+        timeout_seconds: float | EvalBudget | None = None,
         ctx: TranslationContext | None = None,
     ) -> frozenset[tuple]:
         """Translate a UCQT to SQL and run it."""

@@ -1,0 +1,24 @@
+"""Test-time instrumentation for the repro library.
+
+Production code may import from here (the fault points are compiled
+into the hot paths as cheap no-ops), but nothing in this package ever
+activates unless a test installs an injector or sets ``REPRO_FAULTS``.
+"""
+
+from repro.testing.faults import (
+    FaultInjector,
+    FaultRule,
+    fault_point,
+    install,
+    parse_faults,
+    reset,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultRule",
+    "fault_point",
+    "install",
+    "parse_faults",
+    "reset",
+]

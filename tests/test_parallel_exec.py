@@ -24,7 +24,9 @@ from repro.exec import (
     get_kernel,
     morsel_ranges,
 )
+from repro.errors import QueryTimeout
 from repro.exec.parallel import default_parallelism
+from repro.graph.evaluator import EvalBudget
 from repro.graph.model import yago_example_graph
 from repro.ra.terms import Fix, Join, Project, Rel, Rename, Var
 from repro.schema.builder import yago_example_schema
@@ -337,6 +339,77 @@ class TestVecBackendOptions:
             example_session.execute(CHAIN_QUERY, "vec", rewrite=False)
             == expected
         )
+
+
+# -- budget enforcement inside parallel operators ------------------------------
+class _GilFreeProxy:
+    """The pure-Python kernel masquerading as GIL-dropping, so the morsel
+    wrapper fans out deterministically on machines without numpy."""
+
+    RELEASES_GIL = True
+
+    def __init__(self, base):
+        self._base = base
+
+    def __getattr__(self, name):
+        return getattr(self._base, name)
+
+
+class TestMorselBudget:
+    """A budget threaded into :class:`MorselKernel` interrupts fan-outs.
+
+    The tables are ~100 rows, far below the tick batching boundary
+    (2048), so nothing *outside* the morsel wrapper could notice the
+    expired deadline — these joins used to run to completion however
+    late the budget was.
+    """
+
+    def _wrapped(self, budget):
+        base = get_kernel("python")
+        return base, MorselKernel(_GilFreeProxy(base), 4, 8, budget=budget)
+
+    def test_expired_budget_interrupts_parallel_join(self):
+        base, wrapped = self._wrapped(EvalBudget(-1.0))
+        left = base.from_rows([(i, i % 7) for i in range(100)], 2)
+        right = base.from_rows([(i % 7, i) for i in range(100)], 2)
+        with wrapped:
+            with pytest.raises(QueryTimeout):
+                wrapped.join(
+                    left, right, [1], [0], [(0, 0), (0, 1), (1, 1)], 128
+                )
+            # Interrupted before any morsel was dispatched.
+            assert wrapped.parallel_ops == 0
+
+    def test_expired_budget_interrupts_parallel_distinct(self):
+        base, wrapped = self._wrapped(EvalBudget(-1.0))
+        table = base.from_rows([(i % 13, i % 5) for i in range(100)], 2)
+        with wrapped:
+            with pytest.raises(QueryTimeout):
+                wrapped.distinct(table, 128)
+
+    def test_generous_budget_changes_nothing(self):
+        base, wrapped = self._wrapped(EvalBudget(3600.0))
+        table = base.from_rows([(i % 13, i % 5) for i in range(100)], 2)
+        with wrapped:
+            rows = set(base.to_rows(wrapped.distinct(table, 128)))
+        assert rows == {(i % 13, i % 5) for i in range(100)}
+
+    def test_executor_threads_budget_into_morsel_runs(self, example_session):
+        """End-to-end: an expired budget stops a morsel-parallel batch."""
+        from repro.exec import execute_batch_programs
+
+        session = example_session
+        prepared = session.prepare(CHAIN_QUERY, "vec", rewrite=False)
+        with pytest.raises(QueryTimeout):
+            execute_batch_programs(
+                [prepared.plan.program],
+                session.store,
+                heads=[prepared.plan.head],
+                budget=EvalBudget(-1.0),
+                kernel=_GilFreeProxy(get_kernel("python")),
+                parallelism=4,
+                morsel_size=1,
+            )
 
 
 # -- ExecutionStats ------------------------------------------------------------

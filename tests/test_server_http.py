@@ -414,3 +414,144 @@ class TestSnapshotIsolation:
         assert service.snapshot_fallbacks == 0
         snapshots = metrics["tenants"]["toy"]["snapshots"]
         assert snapshots["reads"] == service.snapshot_reads
+
+
+# -- the Retry-After contract on the wire --------------------------------------
+async def _request_headers(
+    port: int, method: str, path: str, payload: object = None
+) -> tuple[int, dict[str, str], dict]:
+    """Like :func:`_request`, but keeps the response headers."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        body = json.dumps(payload).encode() if payload is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
+            f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+        )
+        writer.write(head.encode() + body)
+        await writer.drain()
+        status_line = await reader.readline()
+        status = int(status_line.split(b" ")[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b""):
+                break
+            name, _, value = line.decode().partition(":")
+            headers[name.strip().lower()] = value.strip()
+        data = await reader.readexactly(int(headers.get("content-length", 0)))
+        return status, headers, json.loads(data)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class TestRetryAfter:
+    def test_success_carries_no_retry_after(self):
+        async def drive():
+            async with HTTPGraphServer(_registry(), port=0) as server:
+                return await _request_headers(
+                    server.port, "POST", "/v1/toy/query", {"query": CLOSURE}
+                )
+
+        status, headers, _ = _run(drive())
+        assert status == 200
+        assert "retry-after" not in headers
+
+    def test_quota_429_carries_retry_after(self):
+        async def drive():
+            tenant = Tenant(
+                "toy",
+                _session(),
+                TenantQuotas(max_concurrent=1, max_pending=0),
+            )
+            registry = TenantRegistry()
+            registry.add(tenant)
+            async with HTTPGraphServer(registry, port=0) as server:
+                lock = tenant.service._session_lock
+                lock.acquire()
+                try:
+                    hog = asyncio.ensure_future(
+                        _request(
+                            server.port,
+                            "POST",
+                            "/v1/toy/query",
+                            {"query": CLOSURE},
+                        )
+                    )
+                    while tenant._active < 1:
+                        await asyncio.sleep(0.001)
+                    rejected = await _request_headers(
+                        server.port,
+                        "POST",
+                        "/v1/toy/query",
+                        {"query": CLOSURE},
+                    )
+                finally:
+                    lock.release()
+                await hog
+                return rejected
+
+        status, headers, body = _run(drive())
+        assert status == 429
+        assert body["error"]["code"] == "quota_exceeded"
+        assert int(headers["retry-after"]) >= 1
+
+    def test_deadline_408_carries_retry_after(self):
+        queries = [
+            "x1, x2 <- (x1, " + "/".join(["isLocatedIn+"] * n) + ", x2)"
+            for n in range(1, 41)
+        ]
+
+        async def drive():
+            async with HTTPGraphServer(_registry(), port=0) as server:
+                return await _request_headers(
+                    server.port,
+                    "POST",
+                    "/v1/toy/batch",
+                    {"queries": queries, "timeout_seconds": 1e-9},
+                )
+
+        status, headers, body = _run(drive())
+        assert status == 408
+        assert body["error"]["code"] == "timeout"
+        assert int(headers["retry-after"]) >= 1
+
+    def test_breaker_open_503_carries_the_cooldown(self):
+        from repro.engine import BreakerConfig
+        from repro.testing.faults import FaultInjector, FaultRule, install
+
+        async def drive():
+            registry = TenantRegistry()
+            registry.add(
+                Tenant(
+                    "toy",
+                    _session(),
+                    breaker_config=BreakerConfig(
+                        failure_threshold=1, cooldown_seconds=600.0
+                    ),
+                )
+            )
+            with install(FaultInjector([FaultRule("backend.execute")])):
+                async with HTTPGraphServer(registry, port=0) as server:
+                    # Every backend trips its breaker; once the chain is
+                    # exhausted the tier answers 503 + the cool-down.
+                    for _ in range(8):
+                        response = await _request_headers(
+                            server.port,
+                            "POST",
+                            "/v1/toy/query",
+                            {"query": CLOSURE},
+                        )
+                        if response[0] == 503:
+                            return response
+            return response
+
+        status, headers, body = _run(drive())
+        assert status == 503
+        assert body["error"]["code"] == "backend_unavailable"
+        # The header reflects the breaker horizon, not the 1s default.
+        assert int(headers["retry-after"]) >= 2
