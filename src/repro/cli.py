@@ -31,7 +31,10 @@ Five subcommands:
   ``SIGTERM`` drain in-flight requests before exiting.
 
 ``query``, ``batch`` and ``serve`` accept ``--parallelism N`` /
-``--morsel-size M`` (morsel-driven parallel ``vec`` execution) and
+``--morsel-size M`` (morsel-driven parallel ``vec`` execution),
+``--spill-threshold-bytes N`` / ``--spill-path DIR`` /
+``--shard-workers N`` (out-of-core memmap spill and multi-process
+sharded morsels) and
 ``--planner {greedy,cost}`` (cost-based candidate selection instead of
 the linear rewrite pipeline); ``repro query --explain --candidates``
 prints the ranked candidate table. The serving subcommands cache whole
@@ -163,6 +166,12 @@ def _vec_backend_options(args) -> dict | None:
         options["parallelism"] = args.parallelism
     if getattr(args, "morsel_size", None) is not None:
         options["morsel_size"] = args.morsel_size
+    if getattr(args, "spill_path", None) is not None:
+        options["spill_path"] = args.spill_path
+    if getattr(args, "spill_threshold_bytes", None) is not None:
+        options["spill_threshold_bytes"] = args.spill_threshold_bytes
+    if getattr(args, "shard_workers", None) is not None:
+        options["shard_workers"] = args.shard_workers
     return options or None
 
 
@@ -185,6 +194,12 @@ def _exec_options(args, planner: str | None = None):
         fields["parallelism"] = args.parallelism
     if getattr(args, "morsel_size", None) is not None:
         fields["morsel_size"] = args.morsel_size
+    if getattr(args, "spill_path", None) is not None:
+        fields["spill_path"] = args.spill_path
+    if getattr(args, "spill_threshold_bytes", None) is not None:
+        fields["spill_threshold_bytes"] = args.spill_threshold_bytes
+    if getattr(args, "shard_workers", None) is not None:
+        fields["shard_workers"] = args.shard_workers
     if getattr(args, "max_rows", None) is not None:
         fields["max_rows"] = args.max_rows
     if getattr(args, "max_bytes", None) is not None:
@@ -585,7 +600,24 @@ def _add_parallel_arguments(parser) -> None:
     )
     parser.add_argument(
         "--morsel-size", type=int, default=None, metavar="ROWS",
-        help="vec backend: rows per morsel task (default 4096)",
+        help="vec backend: rows per morsel task (default: adaptive, "
+        "rows/(4*workers) clamped to [256, 4096])",
+    )
+    parser.add_argument(
+        "--spill-path", default=None, metavar="DIR",
+        help="vec backend: root directory for memmap spill files "
+        "(default: system tempdir, or $REPRO_SPILL_PATH)",
+    )
+    parser.add_argument(
+        "--spill-threshold-bytes", type=int, default=None, metavar="N",
+        help="vec backend: spill encoded tables and intermediates whose "
+        "estimated size exceeds N bytes to memmap-backed files "
+        "(default: off, or $REPRO_SPILL_THRESHOLD_BYTES)",
+    )
+    parser.add_argument(
+        "--shard-workers", type=int, default=None, metavar="N",
+        help="vec backend: hash-shard morsels across N worker processes "
+        "(default: 1 = in-process, or $REPRO_SHARD_WORKERS)",
     )
 
 

@@ -31,6 +31,7 @@ from repro.exec.compile import CompiledProgram, compile_term
 from repro.exec.executor import ExecutionStats, execute_program
 from repro.exec.kernels import default_kernel, get_kernel
 from repro.exec.parallel import DEFAULT_MORSEL_SIZE, default_parallelism
+from repro.exec.spill import default_shard_workers, default_spill_threshold
 from repro.gdb.cypher import cypher_expressible, to_cypher
 from repro.gdb.patterns import GraphPattern, ucqt_to_patterns
 from repro.graph.evaluator import EvalBudget, as_budget
@@ -158,7 +159,15 @@ class RaBackend:
 #: The backend options the ``vec`` backend accepts (typos are rejected
 #: at prepare time instead of silently ignored).
 VEC_OPTIONS = frozenset(
-    {"kernel", "parallelism", "morsel_size", "fixpoint_growth"}
+    {
+        "kernel",
+        "parallelism",
+        "morsel_size",
+        "fixpoint_growth",
+        "spill_path",
+        "spill_threshold_bytes",
+        "shard_workers",
+    }
 )
 
 
@@ -176,10 +185,13 @@ def _positive_int_option(options: Mapping, key: str) -> int | None:
 
 def _validate_vec_options(
     options: Mapping | None,
-) -> tuple[str | None, int | None, int | None]:
-    """Check option keys and values; returns (kernel, parallelism, morsel_size)."""
+) -> tuple[
+    str | None, int | None, int | None, str | None, int | None, int | None
+]:
+    """Check option keys and values; returns (kernel, parallelism,
+    morsel_size, spill_path, spill_threshold_bytes, shard_workers)."""
     if not options:
-        return None, None, None
+        return None, None, None, None, None, None
     unknown = sorted(set(options) - VEC_OPTIONS)
     if unknown:
         raise ValueError(
@@ -190,10 +202,19 @@ def _validate_vec_options(
     if kernel is not None:
         get_kernel(kernel)  # fail at prepare time, not execute time
     _validate_growth_option(options)
+    spill_path = options.get("spill_path")
+    if spill_path is not None and not isinstance(spill_path, str):
+        raise ValueError(
+            f"vec backend option 'spill_path' must be a string, "
+            f"got {spill_path!r}"
+        )
     return (
         kernel,
         _positive_int_option(options, "parallelism"),
         _positive_int_option(options, "morsel_size"),
+        spill_path,
+        _positive_int_option(options, "spill_threshold_bytes"),
+        _positive_int_option(options, "shard_workers"),
     )
 
 
@@ -206,7 +227,12 @@ class VecPlan:
     ``parallelism``/``morsel_size`` configure morsel-driven parallel
     execution; ``None`` defers to the ``REPRO_VEC_PARALLELISM``
     environment default (sequential when unset) and the kernel-layer
-    default morsel size.
+    default morsel size. The out-of-core trio works the same way:
+    ``spill_threshold_bytes`` (default ``REPRO_SPILL_THRESHOLD_BYTES``)
+    turns on memmap spill of oversized tables under ``spill_path``
+    (default ``REPRO_SPILL_PATH``), and ``shard_workers`` (default
+    ``REPRO_SHARD_WORKERS``) > 1 fans morsels out over worker
+    *processes* instead of threads.
     """
 
     term: RaTerm
@@ -215,6 +241,9 @@ class VecPlan:
     kernel: str | None = None
     parallelism: int | None = None
     morsel_size: int | None = None
+    spill_path: str | None = None
+    spill_threshold_bytes: int | None = None
+    shard_workers: int | None = None
 
 
 class VecBackend:
@@ -233,7 +262,10 @@ class VecBackend:
         query: UCQT,
         options: Mapping | None = None,
     ) -> VecPlan:
-        kernel, parallelism, morsel_size = _validate_vec_options(options)
+        (
+            kernel, parallelism, morsel_size,
+            spill_path, spill_threshold_bytes, shard_workers,
+        ) = _validate_vec_options(options)
         term = optimize_term(
             ucqt_to_ra(query, TranslationContext()),
             session.store,
@@ -246,6 +278,9 @@ class VecBackend:
             kernel=kernel,
             parallelism=parallelism,
             morsel_size=morsel_size,
+            spill_path=spill_path,
+            spill_threshold_bytes=spill_threshold_bytes,
+            shard_workers=shard_workers,
         )
 
     def prepare_from_term(
@@ -256,7 +291,10 @@ class VecBackend:
         options: Mapping | None = None,
     ) -> VecPlan:
         """Compile a term the cost-based planner already optimised."""
-        kernel, parallelism, morsel_size = _validate_vec_options(options)
+        (
+            kernel, parallelism, morsel_size,
+            spill_path, spill_threshold_bytes, shard_workers,
+        ) = _validate_vec_options(options)
         return VecPlan(
             term=term,
             program=compile_term(term, session.store),
@@ -264,6 +302,9 @@ class VecBackend:
             kernel=kernel,
             parallelism=parallelism,
             morsel_size=morsel_size,
+            spill_path=spill_path,
+            spill_threshold_bytes=spill_threshold_bytes,
+            shard_workers=shard_workers,
         )
 
     def execute(
@@ -296,6 +337,23 @@ class VecBackend:
             if plan.parallelism is not None
             else default_parallelism()
         )
+        spill_threshold = (
+            plan.spill_threshold_bytes
+            if plan.spill_threshold_bytes is not None
+            else default_spill_threshold()
+        )
+        shard_workers = (
+            plan.shard_workers
+            if plan.shard_workers is not None
+            else default_shard_workers()
+        )
+        # Prefer the session's long-lived spill manager: named base-table
+        # spills then persist across executions at the same store version.
+        spill_manager = None
+        if spill_threshold is not None or shard_workers > 1:
+            manager_for = getattr(session, "spill_manager", None)
+            if callable(manager_for):
+                spill_manager = manager_for(plan.spill_path)
         return execute_program(
             plan.program,
             session.store,
@@ -306,6 +364,10 @@ class VecBackend:
             morsel_size=plan.morsel_size,
             stats=stats,
             fix_capture=fix_capture,
+            spill_threshold_bytes=spill_threshold,
+            spill_path=plan.spill_path,
+            spill_manager=spill_manager,
+            shard_workers=shard_workers,
         )
 
     def explain(self, session: "GraphSession", plan: VecPlan) -> str:
@@ -323,6 +385,20 @@ class VecBackend:
                 f", parallelism={parallelism}, "
                 f"morsel_size={plan.morsel_size or DEFAULT_MORSEL_SIZE}"
             )
+        spill_threshold = (
+            plan.spill_threshold_bytes
+            if plan.spill_threshold_bytes is not None
+            else default_spill_threshold()
+        )
+        shard_workers = (
+            plan.shard_workers
+            if plan.shard_workers is not None
+            else default_shard_workers()
+        )
+        if spill_threshold is not None:
+            config += f", spill_threshold_bytes={spill_threshold}"
+        if shard_workers > 1:
+            config += f", shard_workers={shard_workers}"
         return (
             f"-- logical µ-RA plan --\n{logical}\n\n"
             f"-- physical columnar plan ({config}) --\n{physical}"

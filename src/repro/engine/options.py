@@ -18,7 +18,9 @@ Resolution order, most specific wins:
 Each backend consumes only the knobs it understands
 (:data:`BACKEND_OPTION_KEYS`): one options object can therefore describe
 a mixed-backend batch — ``vec`` reads ``kernel``/``parallelism``/
-``morsel_size``/``fixpoint_growth``, ``ra`` reads ``fixpoint_growth``,
+``morsel_size``/``fixpoint_growth`` plus the out-of-core trio
+``spill_path``/``spill_threshold_bytes``/``shard_workers``, ``ra``
+reads ``fixpoint_growth``,
 the rest take nothing. A legacy ``backend_options`` mapping is still
 handed to the backend verbatim (on top of the derived knobs), so
 third-party backends with their own option vocabulary — and option-typo
@@ -46,12 +48,28 @@ EXEC_OPTIONS_WARN_ENV = "REPRO_EXEC_OPTIONS_WARN"
 #: derived knobs — only a legacy ``backend_options`` mapping reaches
 #: them, verbatim.
 BACKEND_OPTION_KEYS: dict[str, tuple[str, ...]] = {
-    "vec": ("kernel", "parallelism", "morsel_size", "fixpoint_growth"),
+    "vec": (
+        "kernel",
+        "parallelism",
+        "morsel_size",
+        "fixpoint_growth",
+        "spill_path",
+        "spill_threshold_bytes",
+        "shard_workers",
+    ),
     "ra": ("fixpoint_growth",),
 }
 
 #: The ExecOptions fields that travel inside a backend-options mapping.
-_KNOB_FIELDS = ("kernel", "parallelism", "morsel_size", "fixpoint_growth")
+_KNOB_FIELDS = (
+    "kernel",
+    "parallelism",
+    "morsel_size",
+    "fixpoint_growth",
+    "spill_path",
+    "spill_threshold_bytes",
+    "shard_workers",
+)
 
 
 def exec_options_warnings_enabled() -> bool:
@@ -87,6 +105,9 @@ class ExecOptions:
     parallelism: int | None = None       # vec morsel-parallel worker count
     morsel_size: int | None = None       # vec rows per morsel task
     fixpoint_growth: float | None = None # estimator closure-growth override
+    spill_path: str | None = None        # out-of-core spill directory root
+    spill_threshold_bytes: int | None = None  # spill tables above this size
+    shard_workers: int | None = None     # vec multi-process morsel workers
     result_cache_size: int | None = None # session result-cache capacity
     incremental: bool | None = None      # session maintenance toggle
     max_rows: int | None = None          # ResourceBudget cumulative row cap
@@ -94,13 +115,20 @@ class ExecOptions:
     fallback: bool | None = None         # retry down the backend chain
 
     def __post_init__(self) -> None:
-        for name in ("backend", "planner", "kernel"):
+        for name in ("backend", "planner", "kernel", "spill_path"):
             value = getattr(self, name)
             if value is not None and not isinstance(value, str):
                 raise ValueError(
                     f"exec option {name!r} must be a string, got {value!r}"
                 )
-        for name in ("parallelism", "morsel_size", "max_rows", "max_bytes"):
+        for name in (
+            "parallelism",
+            "morsel_size",
+            "max_rows",
+            "max_bytes",
+            "spill_threshold_bytes",
+            "shard_workers",
+        ):
             value = getattr(self, name)
             if value is None:
                 continue

@@ -63,9 +63,14 @@ from repro.engine.options import (
 )
 from repro.engine.protocol import Backend, available_backends, get_backend
 from repro.engine.report import ExplainReport
-from repro.exec.dictionary import encoding_appends
+from repro.exec.dictionary import encoding_appends, tables_encoded
 from repro.exec.executor import CAPTURE_KERNEL, CAPTURE_OUTPUT, ExecutionStats
 from repro.exec.kernels import default_kernel, get_kernel
+from repro.exec.spill import (
+    SpillManager,
+    default_shard_workers,
+    default_spill_threshold,
+)
 from repro.engine.resilience import BreakerConfig, CircuitBreaker, RetryPolicy
 from repro.errors import (
     BackendUnavailableError,
@@ -290,6 +295,9 @@ class PreparedQuery:
                 stats = ExecutionStats(programs=1)
             stats.estimated_rows += self.choice.winner.rows
             stats.actual_rows += len(rows)
+            stats.peak_estimate_bytes = max(
+                stats.peak_estimate_bytes, self.choice.peak_bytes
+            )
             self.session._observe_execution(self, len(rows), stats)
         if stats is not None:
             self.last_execution_stats = stats
@@ -450,6 +458,15 @@ class GraphSession:
             "breaker_opens": 0,
             "breaker_skips": 0,
         }
+        #: Lazily created spill directory owner shared by every
+        #: out-of-core execution in this session (named base-table
+        #: spill files are then reused across executions at one store
+        #: version); closed — files and all — with the session.
+        self._spill_manager: SpillManager | None = None
+        #: Memory-dimension planning counters (``planner_stats``).
+        self._spill_decisions = 0
+        self._shard_decisions = 0
+        self._last_peak_estimate = 0.0
 
     # -- derived artefacts (built lazily, owned by the session) -----------
     @property
@@ -738,7 +755,7 @@ class GraphSession:
             return self._governed(
                 self._prepare_cost(
                     query, backend_impl, rewrite, effective_rewrite, options,
-                    effective_options,
+                    effective_options, max_bytes=resolved.max_bytes,
                 ),
                 resolved,
             )
@@ -862,6 +879,48 @@ class GraphSession:
 
         return self._plan_cache.get_or_create(key, choose)
 
+    def _memory_decision(
+        self,
+        choice: "PlanChoice",
+        backend_options: Mapping | None,
+        max_bytes: int | None,
+    ):
+        """The out-of-core decision for one cost-planned vec query.
+
+        Spill turns on when the planner's soft peak-memory estimate
+        exceeds the configured ``spill_threshold_bytes`` (option or
+        ``REPRO_SPILL_THRESHOLD_BYTES``) — or, with no threshold
+        configured at all, when the estimate exceeds the **hard**
+        :class:`~repro.graph.evaluator.ResourceBudget` ``max_bytes``
+        ceiling, in which case the ceiling itself becomes the effective
+        threshold stamped into the backend options (the plan then spills
+        rather than aborts). Returns the (possibly augmented) options
+        and the choice with the decision recorded.
+        """
+        opts = dict(backend_options or {})
+        threshold = opts.get("spill_threshold_bytes")
+        if threshold is None:
+            threshold = default_spill_threshold()
+        workers = opts.get("shard_workers")
+        if workers is None:
+            workers = default_shard_workers()
+        spill = threshold is not None and choice.peak_bytes > threshold
+        if (
+            not spill
+            and threshold is None
+            and max_bytes is not None
+            and choice.peak_bytes > max_bytes
+        ):
+            opts["spill_threshold_bytes"] = max_bytes
+            spill = True
+        if spill or workers > 1:
+            if spill:
+                self._spill_decisions += 1
+            if workers > 1:
+                self._shard_decisions += 1
+            choice = choice.with_memory(spill=spill, shard_workers=workers)
+        return (opts or None), choice
+
     def _prepare_cost(
         self,
         query: UCQT,
@@ -870,6 +929,7 @@ class GraphSession:
         effective_rewrite: bool,
         options: RewriteOptions | None,
         backend_options: Mapping | None,
+        max_bytes: int | None = None,
     ) -> PreparedQuery:
         """The cost-based planning path of :meth:`prepare`.
 
@@ -890,6 +950,7 @@ class GraphSession:
             self.schema_fingerprint,
             options,
             freeze_options(backend_options),
+            max_bytes,
         )
 
         def plan_candidates():
@@ -907,16 +968,22 @@ class GraphSession:
             winner = choice.winner.candidate
             if winner.term is None:
                 return None, choice
+            effective = backend_options
+            if backend_impl.name == "vec":
+                effective, choice = self._memory_decision(
+                    choice, backend_options, max_bytes
+                )
             from_term = getattr(backend_impl, "prepare_from_term", None)
             if from_term is not None:
-                plan = from_term(self, winner.term, winner.query, backend_options)
-            elif backend_options is None:
+                plan = from_term(self, winner.term, winner.query, effective)
+            elif effective is None:
                 plan = backend_impl.prepare(self, winner.query)
             else:
-                plan = backend_impl.prepare(self, winner.query, backend_options)
+                plan = backend_impl.prepare(self, winner.query, effective)
             return plan, choice
 
         plan, choice = self._plan_cache.get_or_create(key, plan_candidates)
+        self._last_peak_estimate = choice.peak_bytes
         winner = choice.winner.candidate
         return PreparedQuery(
             self, backend_impl, query, winner.query, winner.rewrite_result,
@@ -1509,6 +1576,26 @@ class GraphSession:
                 None if self._conformance is None else self._conformance[1]
             ),
             "resilience": self.resilience_stats(),
+            "memory": {
+                "spill_decisions": self._spill_decisions,
+                "shard_decisions": self._shard_decisions,
+                "last_peak_estimate_bytes": self._last_peak_estimate,
+                "spilled_bytes": (
+                    self._spill_manager.spilled_bytes
+                    if self._spill_manager is not None
+                    else 0
+                ),
+                "spill_ops": (
+                    self._spill_manager.spill_ops
+                    if self._spill_manager is not None
+                    else 0
+                ),
+                "spill_reuses": (
+                    self._spill_manager.spill_reuses
+                    if self._spill_manager is not None
+                    else 0
+                ),
+            },
             "calibration": {
                 "records": len(self.calibration_log),
                 "total_recorded": self.calibration_log.total_recorded,
@@ -1520,6 +1607,21 @@ class GraphSession:
         }
 
     # -- introspection -----------------------------------------------------
+    def spill_manager(self, path: str | None = None) -> SpillManager:
+        """The session's spill-directory owner, created on first use.
+
+        One manager serves every out-of-core execution of the session,
+        so named base-table spill files persist across executions at
+        the same store version (and are invalidated by version moves).
+        ``path`` roots the directory on first call; later calls return
+        the existing manager regardless. Closed with the session.
+        """
+        if self._spill_manager is None or self._spill_manager.closed:
+            self._spill_manager = SpillManager(
+                path or self.exec_options.spill_path
+            )
+        return self._spill_manager
+
     @property
     def backends(self) -> tuple[str, ...]:
         return available_backends()
@@ -1528,6 +1630,9 @@ class GraphSession:
     def cache_stats(self) -> "dict[str, CacheStats | ExecutionStats]":
         self._maintenance.encoding_appends = (
             encoding_appends(self._store) if self._store is not None else 0
+        )
+        self._maintenance.tables_encoded = (
+            tables_encoded(self._store) if self._store is not None else 0
         )
         return {
             "rewrite": self._rewrite_cache.stats(),
@@ -1547,6 +1652,9 @@ class GraphSession:
         if self._sqlite is not None:
             self._sqlite.close()
             self._sqlite = None
+        if self._spill_manager is not None:
+            self._spill_manager.close()
+            self._spill_manager = None
 
     def __enter__(self) -> "GraphSession":
         return self

@@ -91,6 +91,29 @@ class EncodedTable:
             self._kernel_tables[kernel.NAME] = table
         return table
 
+    def spilled_kernel_table(self, kernel, manager, version: int):
+        """A memmap-backed kernel table (cached per kernel, like above).
+
+        The spill file is keyed ``(table name, version)`` inside the
+        manager, so repeat executions at the same store version reuse
+        one file and a version move (append delta — which also clears
+        this cache — or barrier rebuild) rewrites it. Falls back to the
+        in-RAM table on kernels without memmap support.
+        """
+        from repro.exec.spill import spill_supported, table_from_memmap
+
+        if not spill_supported(kernel):
+            return self.kernel_table(kernel)
+        key = f"{kernel.NAME}@spill"
+        table = self._kernel_tables.get(key)
+        if table is None:
+            mapped = manager.spill_table(
+                self.name, version, self.codes, self.nrows
+            )
+            table = table_from_memmap(kernel, mapped, self.nrows)
+            self._kernel_tables[key] = table
+        return table
+
 
 class StoreEncoding:
     """Dictionary-encoded snapshot of one relational store."""
@@ -159,6 +182,17 @@ class StoreEncoding:
         """Number of interned values (the base for key packing)."""
         return max(len(self.dictionary), 1)
 
+    @property
+    def tables_encoded(self) -> int:
+        """How many tables this snapshot has actually encoded.
+
+        Encoding is lazy per table (:meth:`table` runs on first scan
+        only), so a query touching a 2-table slice of a 50-table schema
+        keeps this at 2 — the ``tables_encoded`` cache counter asserts
+        exactly that.
+        """
+        return len(self._tables)
+
 
 _ENCODINGS: "WeakKeyDictionary[RelationalStore, StoreEncoding]" = (
     WeakKeyDictionary()
@@ -191,3 +225,10 @@ def encoding_appends(store: RelationalStore) -> int:
     (0 when no encoding exists yet)."""
     encoding = _ENCODINGS.get(store)
     return encoding.appended_rows if encoding is not None else 0
+
+
+def tables_encoded(store: RelationalStore) -> int:
+    """Tables ``store``'s live encoding has actually materialised
+    (0 when no encoding exists yet) — the lazy-encoding counter."""
+    encoding = _ENCODINGS.get(store)
+    return encoding.tables_encoded if encoding is not None else 0

@@ -27,7 +27,19 @@ With ``parallelism`` > 1 the runner drives a
 :class:`~repro.exec.parallel.MorselKernel`: hash-join probes, dedup and
 selections fan out over fixed-size row morsels on a shared thread pool
 (numpy kernels release the GIL on large arrays; the pure-Python kernel
-falls back to sequential execution behind the same surface).
+falls back to sequential execution behind the same surface). With
+``shard_workers`` > 1 the same operators fan out over worker
+*processes* instead (:mod:`repro.exec.shard`) — real parallelism for
+the GIL-bound kernel, morsels shipped zero-copy via spill files.
+
+With ``spill_threshold_bytes`` set (and a memmap-capable kernel), base
+tables and operator outputs whose estimated encoded size exceeds the
+threshold are rewritten onto disk (:mod:`repro.exec.spill`) and the
+execution proceeds over ``np.memmap`` views. Spilled tables are *not*
+charged against the budget's ``max_bytes`` ceiling — the cap governs
+materialised RAM, spilling trades it for disk — which is what lets a
+graph larger than the cap complete out-of-core while the same query
+in-memory exhausts the budget.
 """
 
 from __future__ import annotations
@@ -35,7 +47,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, fields
 
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, InjectedFault
 from repro.exec.compile import (
     CompiledProgram,
     FixOp,
@@ -51,6 +63,12 @@ from repro.exec.compile import (
 from repro.exec.dictionary import StoreEncoding, encoding_for
 from repro.exec.kernels import default_kernel
 from repro.exec.parallel import MorselKernel
+from repro.exec.spill import (
+    SpillManager,
+    is_spilled,
+    spill_kernel_table,
+    spill_supported,
+)
 from repro.graph.evaluator import EvalBudget
 from repro.testing.faults import fault_point
 from repro.storage.relational import RelationalStore
@@ -103,6 +121,15 @@ class ExecutionStats:
     memo_hits: int = 0
     parallel_ops: int = 0
     morsels_dispatched: int = 0
+    # Out-of-core counters: bytes/files actually written to spill during
+    # this execution, worker-process shards dispatched, tables the lazy
+    # store encoding has materialised, and the planner's peak-memory
+    # estimate for the chosen plan (max-merged, not summed).
+    spilled_bytes: int = 0
+    spill_ops: int = 0
+    shards_dispatched: int = 0
+    tables_encoded: int = 0
+    peak_estimate_bytes: float = 0.0
     result_cache_hits: int = 0
     result_cache_misses: int = 0
     delta_rows_applied: int = 0
@@ -177,8 +204,14 @@ class ExecutionStats:
 
     def merge(self, other: "ExecutionStats") -> None:
         # Total over every counter field: a counter added to this class
-        # is merged automatically instead of being silently dropped.
+        # is merged automatically instead of being silently dropped. The
+        # peak-memory estimate is a high-water mark, not a total.
         for field_ in fields(self):
+            if field_.name == "peak_estimate_bytes":
+                self.peak_estimate_bytes = max(
+                    self.peak_estimate_bytes, other.peak_estimate_bytes
+                )
+                continue
             setattr(
                 self,
                 field_.name,
@@ -196,6 +229,10 @@ def execute_program(
     morsel_size: int | None = None,
     stats: ExecutionStats | None = None,
     fix_capture: dict | None = None,
+    spill_threshold_bytes: int | None = None,
+    spill_path: str | None = None,
+    spill_manager: SpillManager | None = None,
+    shard_workers: int | None = None,
 ) -> frozenset[tuple]:
     """Run ``program`` on ``store``; returns decoded, head-ordered rows."""
     return execute_batch_programs(
@@ -208,7 +245,31 @@ def execute_program(
         morsel_size=morsel_size,
         stats=stats,
         fix_captures=None if fix_capture is None else [fix_capture],
+        spill_threshold_bytes=spill_threshold_bytes,
+        spill_path=spill_path,
+        spill_manager=spill_manager,
+        shard_workers=shard_workers,
     )[0]
+
+
+class _SpillState:
+    """The per-execution spill policy: a manager plus the byte threshold.
+
+    ``owns`` marks an ephemeral manager created for this execution only
+    (closed in the run's ``finally``); a session-provided manager
+    outlives the run so named base-table spills are reused across
+    executions at the same store version. Counter baselines let the run
+    report only its *own* writes even through a shared manager.
+    """
+
+    __slots__ = ("manager", "threshold", "owns", "base_bytes", "base_ops")
+
+    def __init__(self, manager: SpillManager, threshold: int, owns: bool):
+        self.manager = manager
+        self.threshold = threshold
+        self.owns = owns
+        self.base_bytes = manager.spilled_bytes
+        self.base_ops = manager.spill_ops
 
 
 def execute_batch_programs(
@@ -221,6 +282,10 @@ def execute_batch_programs(
     parallelism: int | None = None,
     morsel_size: int | None = None,
     fix_captures: list | None = None,
+    spill_threshold_bytes: int | None = None,
+    spill_path: str | None = None,
+    spill_manager: SpillManager | None = None,
+    shard_workers: int | None = None,
 ) -> list[frozenset[tuple]]:
     """Run several compiled programs with shared encoding and shared memo.
 
@@ -247,10 +312,41 @@ def execute_batch_programs(
     later write can continue semi-naive iteration instead of
     recomputing. Capturing is O(1) per fixpoint: the tables are the
     runner's own materialisations, shared not copied.
+
+    ``spill_threshold_bytes`` turns on out-of-core execution on
+    memmap-capable kernels: base tables and operator outputs estimated
+    above the threshold are rewritten under a spill directory
+    (``spill_manager`` when given — typically the session's, so named
+    files are reused across executions — else an ephemeral one rooted
+    at ``spill_path``). ``shard_workers`` > 1 replaces the thread-morsel
+    wrapper with the multi-process one (:mod:`repro.exec.shard`).
     """
     kernel = kernel or default_kernel()
+    spill: _SpillState | None = None
+    if (
+        spill_threshold_bytes is not None
+        and spill_threshold_bytes >= 1
+        and spill_supported(kernel)
+    ):
+        if spill_manager is not None and not spill_manager.closed:
+            spill = _SpillState(spill_manager, spill_threshold_bytes, False)
+        else:
+            spill = _SpillState(
+                SpillManager(spill_path), spill_threshold_bytes, True
+            )
     morsel: MorselKernel | None = None
-    if parallelism is not None and parallelism > 1:
+    if shard_workers is not None and shard_workers > 1:
+        from repro.exec.shard import ProcessMorselKernel
+
+        morsel = ProcessMorselKernel(
+            kernel,
+            shard_workers,
+            morsel_size,
+            budget=budget,
+            manager=spill.manager if spill is not None else None,
+        )
+        kernel = morsel
+    elif parallelism is not None and parallelism > 1:
         morsel = MorselKernel(kernel, parallelism, morsel_size, budget=budget)
         kernel = morsel
     encoding = encoding_for(store)
@@ -261,7 +357,9 @@ def execute_batch_programs(
             f"{len(programs)} program(s) but {len(heads)} head(s)"
         )
     try:
-        runner = _Runner(programs, encoding, kernel, budget or _NO_BUDGET)
+        runner = _Runner(
+            programs, encoding, kernel, budget or _NO_BUDGET, spill=spill
+        )
         decode_row = encoding.dictionary.decode_row
         results: list[frozenset[tuple]] = []
         if fix_captures is None:
@@ -295,10 +393,20 @@ def execute_batch_programs(
     finally:
         if morsel is not None:
             morsel.close()
+        if spill is not None and spill.owns:
+            spill.manager.close()
     if stats is not None:
         if morsel is not None:
             runner.stats.parallel_ops = morsel.parallel_ops
             runner.stats.morsels_dispatched = morsel.morsels_dispatched
+            runner.stats.shards_dispatched = getattr(
+                morsel, "shards_dispatched", 0
+            )
+        if spill is not None:
+            runner.stats.spilled_bytes = (
+                spill.manager.spilled_bytes - spill.base_bytes
+            )
+            runner.stats.spill_ops = spill.manager.spill_ops - spill.base_ops
         stats.merge(runner.stats)
     return results
 
@@ -310,10 +418,12 @@ class _Runner:
         encoding: StoreEncoding,
         kernel,
         budget: EvalBudget,
+        spill: _SpillState | None = None,
     ):
         self.encoding = encoding
         self.kernel = kernel
         self.budget = budget
+        self.spill = spill
         self.stats = ExecutionStats(programs=len(programs))
         self._memo: dict[int, object] = {}
         # Stack of accumulated child-evaluation seconds, one slot per
@@ -335,6 +445,30 @@ class _Runner:
 
     def run(self, program: CompiledProgram):
         return self._eval(program.root, {})
+
+    def _scan_table(self, name: str):
+        """The kernel table for one base-table scan, spilled when big.
+
+        A ``spill.write`` fault (or real I/O error) is contained — the
+        scan falls back to the in-RAM columns; a ``spill.read`` fault
+        (stale named file reuse) raises, since a lost spill file aborts
+        the execution as retryable.
+        """
+        encoded = self.encoding.table(name)
+        spill = self.spill
+        if spill is not None:
+            estimated = encoded.nrows * max(len(encoded.columns), 1) * 8
+            if estimated > spill.threshold:
+                try:
+                    return encoded.spilled_kernel_table(
+                        self.kernel, spill.manager, self.encoding.version
+                    )
+                except InjectedFault as fault:
+                    if fault.site != "spill.write":
+                        raise
+                except OSError:
+                    pass
+        return encoded.kernel_table(self.kernel)
 
     def _eval(self, op: PhysOp, env: dict):
         if op.closed:
@@ -379,16 +513,51 @@ class _Runner:
             stats.fixpoint_seconds += exclusive
         self.budget.tick(rows)
         # Approximate bytes of this materialised intermediate: every
-        # encoded column is one int64 code per row.
-        self.budget.charge_bytes(rows * max(self.kernel.width(result), 1) * 8)
+        # encoded column is one int64 code per row. Disk-backed tables
+        # (already spilled, or rewritten to spill just below) are not
+        # charged — ``max_bytes`` caps materialised RAM and spilling is
+        # exactly the trade of that RAM for disk.
+        approx_bytes = rows * max(self.kernel.width(result), 1) * 8
+        spill = self.spill
+        if spill is not None and is_spilled(result):
+            pass
+        elif spill is not None and approx_bytes > spill.threshold:
+            spilled = self._spill_result(op, result)
+            if spilled is not None:
+                result = spilled
+            else:
+                self.budget.charge_bytes(approx_bytes)
+        else:
+            self.budget.charge_bytes(approx_bytes)
         if op.closed:
             self._memo[id(op)] = result
         return result
 
+    def _spill_result(self, op: PhysOp, result):
+        """Rewrite one oversized operator output onto disk.
+
+        ``spill.write`` faults (and real I/O errors) are contained: the
+        caller keeps the in-RAM table and charges the budget normally.
+        Returns ``None`` when the rewrite did not happen.
+        """
+        try:
+            return spill_kernel_table(
+                self.spill.manager,
+                self.kernel,
+                result,
+                type(op).__name__.lower(),
+            )
+        except InjectedFault as fault:
+            if fault.site != "spill.write":
+                raise
+            return None
+        except OSError:
+            return None
+
     def _eval_uncached(self, op: PhysOp, env: dict):
         kernel = self.kernel
         if isinstance(op, ScanOp):
-            table = self.encoding.table(op.table).kernel_table(kernel)
+            table = self._scan_table(op.table)
             if op.indices is not None:
                 table = kernel.select_columns(table, op.indices)
                 if op.dedup:

@@ -23,6 +23,10 @@ NAME = "numpy"
 #: these kernels genuinely overlap on multiple cores.
 RELEASES_GIL = True
 
+#: Tables can be built over ``np.memmap`` column views — the out-of-core
+#: spill path (:mod:`repro.exec.spill`) is available on this kernel.
+SUPPORTS_MEMMAP = True
+
 #: Packed keys must stay below this bound (headroom under 2^63 - 1).
 _PACK_LIMIT = 1 << 62
 

@@ -39,6 +39,10 @@ from concurrent.futures import ThreadPoolExecutor
 #: workloads, large enough that one numpy call still amortises well.
 DEFAULT_MORSEL_SIZE = 4096
 
+#: Floor of the adaptive morsel size: below this, per-task dispatch
+#: overhead dominates whatever a worker could overlap.
+MIN_MORSEL_SIZE = 256
+
 #: Environment override for the default worker count (used by the CI
 #: matrix leg that runs the whole suite morsel-parallel).
 PARALLELISM_ENV = "REPRO_VEC_PARALLELISM"
@@ -68,6 +72,21 @@ def morsel_ranges(nrows: int, morsel_size: int) -> list[tuple[int, int]]:
         (start, min(start + morsel_size, nrows))
         for start in range(0, nrows, morsel_size)
     ]
+
+
+def adaptive_morsel_size(
+    nrows: int, parallelism: int, configured: int = DEFAULT_MORSEL_SIZE
+) -> int:
+    """The effective rows-per-morsel for one operator's input size.
+
+    Targets four morsels per worker (``rows / (4 × workers)``) so tiny
+    inputs stop dispatching near-per-row tasks and huge inputs stop
+    under-splitting, clamped to ``[MIN_MORSEL_SIZE, configured]``. Used
+    only when the caller didn't pin an explicit ``morsel_size`` — the
+    explicit option remains an exact override.
+    """
+    derived = nrows // max(4 * parallelism, 1)
+    return max(MIN_MORSEL_SIZE, min(derived, configured))
 
 
 class MorselKernel:
@@ -100,6 +119,10 @@ class MorselKernel:
     ):
         if parallelism < 1:
             raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+        #: An explicit morsel size is an exact override; ``None`` turns
+        #: on the adaptive per-operator size (rows / (4 × workers),
+        #: clamped) — see :func:`adaptive_morsel_size`.
+        self.adaptive = morsel_size is None
         morsel_size = (
             DEFAULT_MORSEL_SIZE if morsel_size is None else morsel_size
         )
@@ -136,10 +159,17 @@ class MorselKernel:
             return 1
         return self.parallelism
 
+    def _morsel_size_for(self, nrows: int) -> int:
+        """The rows-per-morsel this operator should run with."""
+        if not self.adaptive:
+            return self.morsel_size
+        return adaptive_morsel_size(nrows, self.parallelism, self.morsel_size)
+
     def _fans_out(self, nrows: int) -> bool:
         # A fan-out needs at least two morsels to pay for the dispatch.
         return (
-            self.effective_parallelism > 1 and nrows > self.morsel_size
+            self.effective_parallelism > 1
+            and nrows > self._morsel_size_for(nrows)
         )
 
     def _checked(self, task):
@@ -188,7 +218,8 @@ class MorselKernel:
                     domain,
                 )
                 for start, stop in morsel_ranges(
-                    base.nrows(probe), self.morsel_size
+                    base.nrows(probe),
+                    self._morsel_size_for(base.nrows(probe)),
                 )
             ]
         )
@@ -216,7 +247,8 @@ class MorselKernel:
                     base.slice_rows(table, s, e), index_a, index_b
                 )
                 for start, stop in morsel_ranges(
-                    base.nrows(table), self.morsel_size
+                    base.nrows(table),
+                    self._morsel_size_for(base.nrows(table)),
                 )
             ]
         )

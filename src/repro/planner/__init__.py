@@ -47,6 +47,7 @@ from repro.planner.cost import (
     cost_profile,
     cost_term,
     estimate_kind_rows,
+    estimate_term_bytes,
 )
 
 #: The planner modes a session accepts.
@@ -77,6 +78,7 @@ __all__ = [
     "cost_profile",
     "cost_term",
     "estimate_kind_rows",
+    "estimate_term_bytes",
     "CalibrationLog",
     "CalibrationRecord",
     "CalibrationState",

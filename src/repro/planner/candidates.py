@@ -21,7 +21,7 @@ the winner; ``explain`` renders the ranked table.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.rewriter import (
     RewriteOptions,
@@ -30,7 +30,12 @@ from repro.core.rewriter import (
     prune_schema_for_query,
 )
 from repro.errors import ReproError
-from repro.planner.cost import CostProfile, cost_profile, cost_term
+from repro.planner.cost import (
+    CostProfile,
+    cost_profile,
+    cost_term,
+    estimate_term_bytes,
+)
 from repro.query.model import UCQT, drop_unsatisfiable_disjuncts
 from repro.ra.optimizer import optimize_term_candidates
 from repro.ra.stats import Estimator
@@ -82,10 +87,22 @@ class RankedCandidate:
 
 @dataclass(frozen=True)
 class PlanChoice:
-    """The ranked candidate table for one (query, backend) planning run."""
+    """The ranked candidate table for one (query, backend) planning run.
+
+    ``peak_bytes`` is the planner's soft estimate of the winner's peak
+    materialised memory (:func:`~repro.planner.cost.estimate_term_bytes`);
+    ``spill``/``shard_workers`` record the session's out-of-core decision
+    for this plan (spill when the estimate exceeds the configured
+    threshold or the hard ``ResourceBudget.max_bytes`` ceiling; shard
+    when multi-process morsels are enabled). Both default to inactive so
+    plans from sessions without the memory dimension render unchanged.
+    """
 
     backend: str
     ranked: tuple[RankedCandidate, ...]
+    peak_bytes: float = 0.0
+    spill: bool = False
+    shard_workers: int = 1
 
     @property
     def winner(self) -> RankedCandidate:
@@ -94,12 +111,29 @@ class PlanChoice:
                 return entry
         return self.ranked[0]
 
+    def with_memory(
+        self, *, spill: bool, shard_workers: int
+    ) -> "PlanChoice":
+        """This choice with the session's out-of-core decision stamped."""
+        return replace(self, spill=spill, shard_workers=shard_workers)
+
+    @property
+    def memory_active(self) -> bool:
+        return self.spill or self.shard_workers > 1
+
     def to_dict(self) -> dict:
         """JSON-serializable candidate table (the ExplainReport form)."""
-        return {
+        payload = {
             "backend": self.backend,
             "candidates": [entry.to_dict() for entry in self.ranked],
         }
+        if self.memory_active:
+            payload["memory"] = {
+                "peak_bytes": self.peak_bytes,
+                "spill": self.spill,
+                "shard_workers": self.shard_workers,
+            }
+        return payload
 
     def render(self) -> str:
         """The EXPLAIN candidate table (``* `` marks the winner)."""
@@ -112,6 +146,16 @@ class PlanChoice:
             lines.append(
                 f"{marker}{rank:<5} {entry.label:<22} "
                 f"{entry.cost:>14,.1f} {int(entry.rows):>12,}"
+            )
+        if self.memory_active:
+            decisions = []
+            if self.spill:
+                decisions.append("spill=on")
+            if self.shard_workers > 1:
+                decisions.append(f"shard_workers={self.shard_workers}")
+            lines.append(
+                f"-- memory: est. peak {int(self.peak_bytes):,} bytes, "
+                + ", ".join(decisions)
             )
         return "\n".join(lines)
 
@@ -218,7 +262,13 @@ def rank_candidates(
             costed, key=lambda entry: (entry[0], entry[2])
         )
     )
-    return PlanChoice(backend=backend, ranked=ranked)
+    winner_term = candidates[best_index].term
+    peak_bytes = (
+        estimate_term_bytes(winner_term, store, estimator)
+        if winner_term is not None
+        else 0.0
+    )
+    return PlanChoice(backend=backend, ranked=ranked, peak_bytes=peak_bytes)
 
 
 def plan_query(

@@ -243,6 +243,62 @@ def cost_term(
     return visit(term)
 
 
+def estimate_term_bytes(
+    term: RaTerm,
+    store: RelationalStore,
+    estimator: Estimator | None = None,
+) -> float:
+    """Estimated peak bytes of materialised encoded columns for ``term``.
+
+    Mirrors the vec executor's residency model — every materialised
+    table is one int64 code (8 bytes) per row per column — and the
+    shape of batch evaluation: when an operator materialises its
+    output, its children's outputs are still alive, so the plan's peak
+    is the max over operators of *own output bytes + children's output
+    bytes*. Renames are metadata-only and frontier ``Var`` scans alias
+    state the enclosing fixpoint already accounts for. This is the
+    planner's **soft** memory estimate; a
+    :class:`~repro.graph.evaluator.ResourceBudget`'s ``max_bytes``
+    remains the hard runtime ceiling.
+    """
+    estimator = estimator or Estimator(store)
+
+    def bytes_of(node: RaTerm) -> float:
+        try:
+            node_width = max(len(node.columns(store)), 1)
+        except Exception:  # width unknown: assume the binary-edge shape
+            node_width = 2
+        return max(estimator.rows(node), 0.0) * node_width * 8.0
+
+    peak = 0.0
+
+    def visit(node: RaTerm) -> float:
+        """Post-order walk; returns the node's output bytes."""
+        nonlocal peak
+        if isinstance(node, Rename):
+            return visit(node.child)
+        if isinstance(node, Var):
+            return 0.0
+        if isinstance(node, Rel):
+            own = bytes_of(node)
+            peak = max(peak, own)
+            return own
+        if isinstance(node, (Project, SelectEq)):
+            children = [visit(node.child)]
+        elif isinstance(node, (Join, RaUnion)):
+            children = [visit(node.left), visit(node.right)]
+        elif isinstance(node, Fix):
+            children = [visit(node.base), visit(node.step)]
+        else:
+            raise TypeError(f"unknown RA term {node!r}")
+        own = bytes_of(node)
+        peak = max(peak, own + sum(children))
+        return own
+
+    visit(term)
+    return peak
+
+
 #: The operator kinds telemetry is recorded under — one entry per
 #: ``*_rows``/``*_seconds`` counter pair on
 #: :class:`~repro.exec.executor.ExecutionStats`.

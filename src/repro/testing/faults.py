@@ -14,15 +14,20 @@ site                            boundary
 ``result_cache.store``          storing a fresh result into the result cache
 ``result_cache.load``           serving a hit from the result cache
 ``maintain.apply``              incremental maintenance of a stale cache entry
+``spill.write``                 writing a spill file for an out-of-core table
+``spill.read``                  remapping a spill file reused across executions
+``shard.worker``                dispatching one morsel shard to a worker process
 ==============================  ================================================
 
 ``fault_point(site)`` is a cheap attribute check when no injector is
 active. When one is active, matching rules raise
 :class:`~repro.errors.InjectedFault` — the *raising* sites above — while
-contained sites (the cache/maintenance ones) catch the fault locally and
-degrade (skip the store, treat the load as a miss, fall back to
-invalidation), which the chaos suite asserts never corrupts shared
-state.
+contained sites (the cache/maintenance ones, plus ``spill.write``) catch
+the fault locally and degrade (skip the store, treat the load as a miss,
+fall back to invalidation, keep the table in RAM), which the chaos suite
+asserts never corrupts shared state. ``spill.read`` and ``shard.worker``
+are raising — a lost spill file or dead worker aborts the execution with
+a retryable error, so the degradation loop may re-run the query.
 
 Determinism: each rule draws from its own ``random.Random`` seeded with
 ``f"{seed}:{site}"``, so whether the *k*-th arrival at a site fires is a
@@ -73,6 +78,9 @@ KNOWN_SITES: tuple[str, ...] = (
     "result_cache.store",
     "result_cache.load",
     "maintain.apply",
+    "spill.write",
+    "spill.read",
+    "shard.worker",
 )
 
 

@@ -132,6 +132,86 @@ class TestContainedFaults:
             assert session.execute(CLOSURE, "vec") == after_faulted
 
 
+# -- out-of-core sites: spill degrades, shard dispatch aborts cleanly ----------
+class TestOutOfCoreFaults:
+    OOC_OPTIONS = {
+        "spill_threshold_bytes": 1,
+        "shard_workers": 2,
+        "parallelism": 2,
+        "morsel_size": 2,
+    }
+
+    def test_spill_write_fault_keeps_tables_in_memory(self, expected):
+        with _session() as session:
+            with install(_injector("spill.write")):
+                rows = session.execute(
+                    CLOSURE, "vec", rewrite=False,
+                    backend_options={"spill_threshold_bytes": 1},
+                )
+            assert rows == expected
+
+    def test_spill_read_fault_surfaces_and_recovers(self, expected):
+        from repro.exec.dictionary import encoding_for
+
+        with _session() as session:
+            options = {"spill_threshold_bytes": 1}
+            # First run writes the named base-table spill files through
+            # the session-scoped manager. Dropping the encoded tables'
+            # kernel-table caches (as memory pressure would) forces the
+            # second run down the named-file *reuse* path — where
+            # spill.read fires.
+            assert session.execute(
+                CLOSURE, "vec", rewrite=False, backend_options=options
+            ) == expected
+            for encoded in encoding_for(session.store)._tables.values():
+                encoded._kernel_tables.clear()
+            with install(_injector("spill.read")):
+                with pytest.raises(InjectedFault):
+                    session.execute(
+                        CLOSURE, "vec", rewrite=False,
+                        backend_options=options,
+                    )
+            assert session.execute(
+                CLOSURE, "vec", rewrite=False, backend_options=options
+            ) == expected
+
+    def test_shard_worker_fault_leaves_no_trace(self, expected):
+        with _session(result_cache_size=8) as session:
+            with install(_injector("shard.worker")):
+                with pytest.raises(InjectedFault):
+                    session.execute(
+                        CLOSURE, "vec", rewrite=False,
+                        backend_options=self.OOC_OPTIONS,
+                    )
+            assert session.cache_stats["result"].size == 0
+            assert session.execute(
+                CLOSURE, "vec", rewrite=False,
+                backend_options=self.OOC_OPTIONS,
+            ) == expected
+
+    def test_out_of_core_chaos_sweep(self, expected):
+        completed = 0
+        with _session(result_cache_size=8) as session:
+            with install(
+                FaultInjector([FaultRule("*", rate=0.5)], seed=SEED)
+            ):
+                for _ in range(8):
+                    try:
+                        rows = session.execute(
+                            CLOSURE, "vec", rewrite=False,
+                            backend_options=self.OOC_OPTIONS,
+                        )
+                    except ReproError:
+                        continue
+                    completed += 1
+                    assert rows == expected
+            assert session.execute(
+                CLOSURE, "vec", rewrite=False,
+                backend_options=self.OOC_OPTIONS,
+            ) == expected
+        assert completed >= 0  # documented: the sweep may fault every run
+
+
 # -- the sweep: every site, probabilistic schedule -----------------------------
 class TestChaosSweep:
     def test_wildcard_chaos_never_yields_partial_results(self, expected):
@@ -157,6 +237,8 @@ class TestChaosSweep:
     def test_known_sites_is_the_complete_roster(self):
         for backend in BACKENDS:
             assert f"backend.execute.{backend}" in KNOWN_SITES
+        for site in ("spill.write", "spill.read", "shard.worker"):
+            assert site in KNOWN_SITES
 
 
 # -- the HTTP surface ----------------------------------------------------------

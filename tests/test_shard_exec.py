@@ -1,0 +1,194 @@
+"""Process-sharded morsels: parity, counters, fallback, fault site.
+
+The property suite proves sharded execution returns the same rows on
+random inputs; this module pins down the machinery — the
+``shards_dispatched`` counter, the zero-copy file transport helpers,
+graceful sequential fallback when the worker pool cannot be built, knob
+validation at the options layer, and the raising ``shard.worker`` fault
+site.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.exec.shard as shard_module
+from repro.engine import GraphSession
+from repro.engine.options import ExecOptions
+from repro.errors import InjectedFault, RequestError
+from repro.exec import available_kernels, execute_program, get_kernel
+from repro.exec.shard import ProcessMorselKernel
+from repro.graph.model import yago_example_graph
+from repro.schema.builder import yago_example_schema
+from repro.testing.faults import install, parse_faults
+
+QUERY = "x1, x2 <- (x1, isLocatedIn+, x2)"
+
+
+def _session():
+    return GraphSession(yago_example_graph(), yago_example_schema())
+
+
+@pytest.fixture()
+def plan_and_expected():
+    with _session() as session:
+        plan = session.prepare(QUERY, "vec", rewrite=False).plan
+        assert plan is not None
+        expected = execute_program(
+            plan.program, session.store, head=plan.head
+        )
+        yield session.store, plan, expected
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("kernel_name", available_kernels())
+    def test_rows_identical_on_every_kernel(
+        self, plan_and_expected, kernel_name
+    ):
+        store, plan, expected = plan_and_expected
+        stats_kwargs = {}
+        rows = execute_program(
+            plan.program, store, head=plan.head,
+            kernel=get_kernel(kernel_name),
+            parallelism=2, morsel_size=2, shard_workers=2,
+            **stats_kwargs,
+        )
+        assert rows == expected
+
+    def test_shards_dispatched_counted(self, plan_and_expected):
+        from repro.exec.executor import ExecutionStats
+
+        store, plan, expected = plan_and_expected
+        stats = ExecutionStats()
+        rows = execute_program(
+            plan.program, store, head=plan.head,
+            parallelism=2, morsel_size=2, shard_workers=2, stats=stats,
+        )
+        assert rows == expected
+        assert stats.shards_dispatched > 0
+        assert stats.morsels_dispatched >= stats.shards_dispatched
+
+    def test_single_worker_never_dispatches(self, plan_and_expected):
+        from repro.exec.executor import ExecutionStats
+
+        store, plan, expected = plan_and_expected
+        stats = ExecutionStats()
+        rows = execute_program(
+            plan.program, store, head=plan.head,
+            parallelism=2, morsel_size=2, shard_workers=1, stats=stats,
+        )
+        assert rows == expected
+        assert stats.shards_dispatched == 0
+
+
+class TestProcessMorselKernel:
+    def test_effective_parallelism_ignores_gil(self):
+        kernel = get_kernel("python")
+        sharded = ProcessMorselKernel(kernel, 4, morsel_size=64)
+        try:
+            # Threads on the GIL-bound kernel degrade to 1; processes
+            # keep the full fan-out.
+            assert sharded.effective_parallelism == 4
+        finally:
+            sharded.close()
+
+    def test_shared_manager_not_closed_with_kernel(self):
+        from repro.exec.spill import SpillManager
+
+        with SpillManager() as manager:
+            sharded = ProcessMorselKernel(
+                get_kernel("numpy"), 2, morsel_size=64, manager=manager
+            )
+            sharded.close()
+            assert not manager.closed
+
+    def test_transport_round_trips_columns(self, tmp_path):
+        for kernel_name in available_kernels():
+            kernel = get_kernel(kernel_name)
+            path = str(tmp_path / f"cols-{kernel_name}.bin")
+            shard_module._write_columns(path, [[1, 2, 3], [4, 5, 6]], 3)
+            table = shard_module._read_columns(kernel, path, 2, 3, 1, 3)
+            assert kernel.to_rows(table) == [(2, 5), (3, 6)]
+            empty = shard_module._read_columns(kernel, path, 2, 3, 2, 2)
+            assert kernel.to_rows(empty) == []
+
+
+class TestPoolFallback:
+    def test_broken_pool_degrades_to_sequential(
+        self, plan_and_expected, monkeypatch
+    ):
+        from repro.exec.executor import ExecutionStats
+
+        store, plan, expected = plan_and_expected
+        monkeypatch.setattr(shard_module, "_pool_broken", True)
+        stats = ExecutionStats()
+        rows = execute_program(
+            plan.program, store, head=plan.head,
+            parallelism=2, morsel_size=2, shard_workers=2, stats=stats,
+        )
+        assert rows == expected
+        assert stats.shards_dispatched == 0
+
+
+class TestShardWorkerFaultSite:
+    def test_fault_raises_retryable_before_dispatch(
+        self, plan_and_expected
+    ):
+        store, plan, _ = plan_and_expected
+        with install(parse_faults("shard.worker")):
+            with pytest.raises(InjectedFault) as excinfo:
+                execute_program(
+                    plan.program, store, head=plan.head,
+                    parallelism=2, morsel_size=2, shard_workers=2,
+                )
+        assert excinfo.value.site == "shard.worker"
+        assert excinfo.value.retryable
+
+    def test_failed_run_does_not_poison_result_cache(self):
+        with GraphSession(
+            yago_example_graph(), yago_example_schema(),
+            result_cache_size=16,
+        ) as session:
+            options = {
+                "parallelism": 2, "morsel_size": 2, "shard_workers": 2,
+            }
+            with install(parse_faults("shard.worker")):
+                with pytest.raises(InjectedFault):
+                    session.execute(
+                        QUERY, "vec", rewrite=False,
+                        backend_options=options,
+                    )
+            assert session.cache_stats["result"].size == 0
+            # The fault cleared: the same prepared plan now succeeds.
+            rows = session.execute(
+                QUERY, "vec", rewrite=False, backend_options=options
+            )
+            plain = session.execute(QUERY, "vec", rewrite=False)
+            assert rows == plain
+
+
+class TestOptionValidation:
+    def test_shard_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ExecOptions(shard_workers=0)
+        with pytest.raises(ValueError):
+            ExecOptions(spill_threshold_bytes=0)
+
+    def test_backend_rejects_bad_shard_workers(self):
+        with _session() as session:
+            with pytest.raises((RequestError, ValueError)):
+                session.prepare(
+                    QUERY, "vec", rewrite=False,
+                    backend_options={"shard_workers": "two"},
+                )
+
+    def test_options_flow_through_session(self):
+        with _session() as session:
+            rows = session.execute(
+                QUERY, "vec", rewrite=False,
+                exec_options=ExecOptions(
+                    shard_workers=2, parallelism=2, morsel_size=2
+                ),
+            )
+            plain = session.execute(QUERY, "vec", rewrite=False)
+            assert rows == plain
